@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// \brief Shared scaffolding of the figure-reproduction binaries.
+///
+/// Every fig*/ext* binary reproduces one figure of the paper as a set of
+/// ASCII tables (one per sub-plot metric).  Scale is controlled by
+/// environment variables:
+///   CLOUDWF_QUICK — CI scale (2 instances, 5 reps, 4 budgets, 30 tasks)
+///   (default)     — trimmed scale, minutes on a laptop
+///   CLOUDWF_FULL  — paper scale (5 instances, 25 reps, 8 budgets, 90 tasks)
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "pegasus/generator.hpp"
+#include "platform/platform.hpp"
+
+namespace cloudwf::bench {
+
+/// Campaign configuration for one workflow family at the scale selected by
+/// the environment.  \p heavy marks figures whose algorithms are orders of
+/// magnitude slower (the + variants); they get smaller defaults.
+inline exp::CampaignConfig figure_config(pegasus::WorkflowType type,
+                                         std::vector<std::string> algorithms, bool heavy) {
+  exp::CampaignConfig config;
+  config.type = type;
+  config.algorithms = std::move(algorithms);
+  config.seed = 42;
+  if (exp::full_mode()) {
+    config.tasks = 90;
+    config.instances = 5;
+    config.repetitions = 25;
+    config.budget_points = 8;
+  } else if (heavy) {
+    config.tasks = 40;
+    config.instances = 2;
+    config.repetitions = 8;
+    config.budget_points = 5;
+  } else {
+    config.tasks = 90;
+    config.instances = 3;
+    config.repetitions = 10;
+    config.budget_points = 6;
+  }
+  config.apply_quick_mode();
+  return config;
+}
+
+/// Runs one family's campaign and prints the requested metric tables.
+/// \p low_budget_factor extends the sweep below the feasible minimum
+/// (Figure 3/4 validity studies).
+inline void run_figure_row(const std::string& figure, pegasus::WorkflowType type,
+                           const std::vector<std::string>& algorithms,
+                           const std::vector<std::pair<std::string, std::string>>& metrics,
+                           bool heavy, double low_budget_factor = 1.0,
+                           double high_budget_cap_factor = 0.0) {
+  exp::CampaignConfig config = figure_config(type, algorithms, heavy);
+  config.low_budget_factor = low_budget_factor;
+  config.high_budget_cap_factor = high_budget_cap_factor;
+  const platform::Platform platform = platform::paper_platform();
+  const exp::CampaignResult result = exp::run_campaign(platform, config);
+  for (const auto& [metric, label] : metrics) {
+    const std::string title = figure + " — " + std::string(pegasus::to_string(type)) + " (" +
+                              std::to_string(config.tasks) + " tasks) — " + label;
+    exp::print_campaign_table(std::cout, result, metric, title);
+  }
+}
+
+inline void print_scale_banner(const std::string& figure) {
+  std::cout << "=== " << figure << " ===\n"
+            << "scale: "
+            << (exp::full_mode() ? "FULL (paper)" : exp::quick_mode() ? "QUICK (CI)" : "default")
+            << " — set CLOUDWF_FULL=1 for the paper-scale campaign\n\n";
+}
+
+}  // namespace cloudwf::bench

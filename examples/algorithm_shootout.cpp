@@ -1,0 +1,77 @@
+/// \file algorithm_shootout.cpp
+/// \brief Runs all nine algorithms of the paper head-to-head on one
+/// workflow and budget, with stochastic executions, and prints a ranking.
+///
+/// Usage: algorithm_shootout [family=cybershake] [tasks=50] [budget_factor=1.3]
+///
+/// budget_factor scales the cheapest-execution cost; 1.0-1.5 is the regime
+/// where the algorithms differ the most (Figures 1-4).
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/budget_levels.hpp"
+#include "exp/evaluate.hpp"
+#include "pegasus/generator.hpp"
+#include "platform/platform.hpp"
+#include "sched/registry.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cloudwf;
+
+  const pegasus::WorkflowType family =
+      pegasus::parse_type(argc > 1 ? argv[1] : "cybershake");
+  const std::size_t tasks = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 50;
+  const double factor = argc > 3 ? std::atof(argv[3]) : 1.3;
+
+  const platform::Platform cloud = platform::paper_platform();
+  const dag::Workflow wf = pegasus::generate(family, {tasks, 3, 0.5});
+  const exp::BudgetLevels levels = exp::compute_budget_levels(wf, cloud);
+  const Dollars budget = factor * levels.min_cost;
+
+  std::cout << "Shootout on " << wf.name() << " with budget $" << budget << " ("
+            << factor << " x cheapest execution)\n\n";
+
+  struct Row {
+    exp::EvalResult result;
+  };
+  std::vector<Row> rows;
+  for (const std::string& name : sched::algorithm_names()) {
+    exp::EvalConfig config;
+    config.repetitions = 25;
+    config.measure_cpu_time = true;
+    rows.push_back({exp::evaluate(wf, cloud, name, budget, config)});
+  }
+
+  // Rank: budget-respecting algorithms first (by makespan), violators last.
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    const bool a_ok = a.result.valid_fraction >= 0.95;
+    const bool b_ok = b.result.valid_fraction >= 0.95;
+    if (a_ok != b_ok) return a_ok;
+    return a.result.makespan.mean() < b.result.makespan.mean();
+  });
+
+  TablePrinter table("algorithms ranked (budget-respecting first, then by makespan)");
+  table.columns({"algorithm", "mean makespan (s)", "mean spend ($)", "valid", "#VMs",
+                 "scheduling CPU (ms)"});
+  for (const Row& row : rows) {
+    const exp::EvalResult& r = row.result;
+    table.row({r.algorithm, TablePrinter::pm(r.makespan.mean(), r.makespan.stddev(), 0),
+               TablePrinter::num(r.cost.mean(), 4),
+               TablePrinter::num(100.0 * r.valid_fraction, 0) + "%", std::to_string(r.used_vms),
+               TablePrinter::num(1e3 * r.schedule_seconds, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote the paper's trade-offs: BDT is fast but overruns tight budgets; CG is\n"
+               "cheap but slow; the HEFTBUDG+ variants buy better makespans with orders of\n"
+               "magnitude more scheduling CPU time.\n";
+  return EXIT_SUCCESS;
+} catch (const std::exception& error) {
+  std::cerr << "algorithm_shootout failed: " << error.what() << '\n';
+  return EXIT_FAILURE;
+}

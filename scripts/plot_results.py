@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Plot cloudwf raw-result CSVs (exp::write_results_csv) as paper-style figures.
+
+Usage:
+    plot_results.py results.csv [-o figure.png] [--metric makespan_mean]
+
+One line per algorithm, budget on the x axis, the chosen metric on the y
+axis with +-stddev error bars when available.  Requires matplotlib.
+"""
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+
+def load_rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="raw results CSV from exp::write_results_csv")
+    parser.add_argument("-o", "--output", default=None, help="output image (default: show)")
+    parser.add_argument(
+        "--metric",
+        default="makespan_mean",
+        choices=[
+            "makespan_mean",
+            "makespan_p95",
+            "cost_mean",
+            "valid_fraction",
+            "objective_fraction",
+            "used_vms",
+            "schedule_seconds",
+        ],
+    )
+    parser.add_argument("--logy", action="store_true", help="logarithmic y axis")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        if args.output:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_results.py: matplotlib is required (pip install matplotlib)")
+
+    rows = load_rows(args.csv)
+    if not rows:
+        sys.exit("plot_results.py: empty CSV")
+
+    stddev_column = {"makespan_mean": "makespan_stddev", "cost_mean": "cost_stddev"}.get(
+        args.metric
+    )
+
+    series = defaultdict(list)  # algorithm -> [(budget, value, err)]
+    for row in rows:
+        err = float(row[stddev_column]) if stddev_column else 0.0
+        series[row["algorithm"]].append(
+            (float(row["budget"]), float(row[args.metric]), err)
+        )
+
+    figure, axis = plt.subplots(figsize=(7, 4.5))
+    for algorithm in sorted(series):
+        points = sorted(series[algorithm])
+        budgets = [p[0] for p in points]
+        values = [p[1] for p in points]
+        errors = [p[2] for p in points]
+        axis.errorbar(budgets, values, yerr=errors if any(errors) else None,
+                      marker="o", capsize=3, label=algorithm)
+
+    axis.set_xlabel("initial budget ($)")
+    axis.set_ylabel(args.metric.replace("_", " "))
+    if args.logy:
+        axis.set_yscale("log")
+    axis.grid(True, alpha=0.3)
+    axis.legend()
+    workflow = rows[0]["workflow"]
+    axis.set_title(f"{workflow} — {args.metric.replace('_', ' ')}")
+    figure.tight_layout()
+
+    if args.output:
+        figure.savefig(args.output, dpi=150)
+        print(f"wrote {args.output}")
+    else:
+        plt.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cloudwf {
+
+CsvWriter::CsvWriter(std::ostream& out, char separator) : out_(out), sep_(separator) {}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  header(std::vector<std::string>(names.begin(), names.end()));
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  require(rows_ == 0 && at_row_start_, "CsvWriter::header: header must be the first row");
+  require(!names.empty(), "CsvWriter::header: empty header");
+  for (const auto& name : names) field(name);
+  header_fields_ = fields_in_row_;
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  separator_if_needed();
+  write_escaped(value);
+  ++fields_in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  separator_if_needed();
+  if (std::isfinite(value)) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    CLOUDWF_ASSERT(ec == std::errc{});
+    out_.write(buf, ptr - buf);
+  } else {
+    out_ << (std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf"));
+  }
+  ++fields_in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  separator_if_needed();
+  out_ << value;
+  ++fields_in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::size_t value) {
+  separator_if_needed();
+  out_ << value;
+  ++fields_in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(int value) {
+  separator_if_needed();
+  out_ << value;
+  ++fields_in_row_;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  require(!at_row_start_, "CsvWriter::end_row: empty row");
+  if (header_fields_ != 0)
+    require(fields_in_row_ == header_fields_, "CsvWriter::end_row: field count differs from header");
+  out_ << '\n';
+  at_row_start_ = true;
+  fields_in_row_ = 0;
+  ++rows_;
+}
+
+void CsvWriter::separator_if_needed() {
+  if (!at_row_start_) out_ << sep_;
+  at_row_start_ = false;
+}
+
+void CsvWriter::write_escaped(std::string_view value) {
+  const bool needs_quotes = value.find_first_of(std::string{sep_} + "\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    out_ << value;
+    return;
+  }
+  out_ << '"';
+  for (char c : value) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+CsvFile::CsvFile(const std::string& path) : stream_(path), writer_(stream_) {
+  require(stream_.good(), "CsvFile: cannot open " + path);
+}
+
+}  // namespace cloudwf

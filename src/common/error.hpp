@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Error handling primitives shared by all cloudwf modules.
+///
+/// The library reports contract violations and invalid inputs with
+/// exceptions derived from cloudwf::Error.  Internal invariants are guarded
+/// with CLOUDWF_ASSERT, which stays active in release builds: simulation
+/// results are only trustworthy if the engine's invariants held.
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cloudwf {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A workflow/schedule/platform failed structural validation.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; indicates a bug in cloudwf itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(std::string_view expr, std::string_view msg,
+                                     const std::source_location& loc) {
+  std::ostringstream os;
+  os << "cloudwf internal assertion failed: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+
+/// Throws InvalidArgument with \p msg unless \p cond holds.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+/// Throws ValidationError with \p msg unless \p cond holds.
+inline void validate(bool cond, const std::string& msg) {
+  if (!cond) throw ValidationError(msg);
+}
+
+}  // namespace cloudwf
+
+/// Release-mode-active assertion for internal invariants.
+#define CLOUDWF_ASSERT(cond)                                                      \
+  do {                                                                            \
+    if (!(cond))                                                                  \
+      ::cloudwf::detail::assert_fail(#cond, "", std::source_location::current()); \
+  } while (false)
+
+/// Assertion with an explanatory message.
+#define CLOUDWF_ASSERT_MSG(cond, msg)                                              \
+  do {                                                                             \
+    if (!(cond))                                                                   \
+      ::cloudwf::detail::assert_fail(#cond, msg, std::source_location::current()); \
+  } while (false)

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file json.hpp
+/// \brief Minimal JSON value model, parser and serializer.
+///
+/// Used for workflow interchange (dag/io) and experiment configuration.
+/// Supports the full JSON grammar except \u escapes beyond the Basic
+/// Multilingual Plane surrogate pairs, which are passed through verbatim.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace cloudwf {
+
+/// A JSON document node: null, bool, number, string, array or object.
+///
+/// Objects preserve key order of insertion (important for stable golden
+/// files); numbers are stored as double, which covers every value cloudwf
+/// serializes.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered object representation.
+  class Object {
+   public:
+    /// Returns the value for \p key, inserting null if absent.
+    Json& operator[](const std::string& key);
+    /// Returns the value for \p key or nullptr.
+    [[nodiscard]] const Json* find(std::string_view key) const;
+    [[nodiscard]] bool contains(std::string_view key) const { return find(key) != nullptr; }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] auto begin() const { return entries_.begin(); }
+    [[nodiscard]] auto end() const { return entries_.end(); }
+
+   private:
+    std::vector<std::pair<std::string, Json>> entries_;
+  };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(long long i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw InvalidArgument on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member access; throws if not an object or key missing.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Serializes; \p indent > 0 pretty-prints with that many spaces.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses \p text; throws InvalidArgument with position info on error.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace cloudwf

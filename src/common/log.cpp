@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace cloudwf {
+
+namespace {
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::warn;
+  const std::string_view sv(text);
+  if (sv == "debug") return LogLevel::debug;
+  if (sv == "info") return LogLevel::info;
+  if (sv == "warn") return LogLevel::warn;
+  if (sv == "error") return LogLevel::error;
+  if (sv == "off") return LogLevel::off;
+  return LogLevel::warn;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> threshold{parse_level(std::getenv("CLOUDWF_LOG"))};
+  return threshold;
+}
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  if (level < log_threshold()) return;
+  static std::mutex io_mutex;
+  const std::lock_guard lock(io_mutex);
+  std::cerr << "[cloudwf " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace cloudwf

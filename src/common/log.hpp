@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file log.hpp
+/// \brief Lightweight leveled logging for harness and examples.
+///
+/// Off by default above `warn`; the CLOUDWF_LOG environment variable
+/// ("debug" | "info" | "warn" | "error" | "off") raises or lowers verbosity.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cloudwf {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Returns the process-wide threshold (initialized once from CLOUDWF_LOG).
+[[nodiscard]] LogLevel log_threshold();
+
+/// Overrides the threshold programmatically (tests, examples).
+void set_log_threshold(LogLevel level);
+
+/// Emits \p message to stderr if \p level passes the threshold.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::debug, args...);
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::info, args...);
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::warn, args...);
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::error, args...);
+}
+
+}  // namespace cloudwf

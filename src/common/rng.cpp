@@ -1,0 +1,97 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cloudwf {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 significand bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo must not exceed hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  require(n > 0, "Rng::below: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  require(stddev >= 0.0, "Rng::gaussian: stddev must be non-negative");
+  return mean + stddev * gaussian();
+}
+
+double Rng::truncated_gaussian(double mean, double stddev, double floor) {
+  require(mean >= floor, "Rng::truncated_gaussian: mean below floor");
+  constexpr int max_attempts = 64;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const double draw = gaussian(mean, stddev);
+    if (draw >= floor) return draw;
+  }
+  return floor;
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  // Mix the parent's seed with the tag through SplitMix64; forking is a pure
+  // function of (seed, tag) so a fork is stable no matter how many draws the
+  // parent has made.
+  std::uint64_t sm = seed_ ^ (0x9E3779B97F4A7C15ULL + tag * 0xD1342543DE82EF95ULL);
+  const std::uint64_t child_seed = splitmix64(sm);
+  return Rng(child_seed);
+}
+
+}  // namespace cloudwf

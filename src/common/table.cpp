@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cloudwf {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::columns(std::vector<std::string> names) {
+  require(rows_.empty(), "TablePrinter::columns: set columns before adding rows");
+  require(!names.empty(), "TablePrinter::columns: empty column list");
+  columns_ = std::move(names);
+}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  require(!columns_.empty(), "TablePrinter::row: columns not set");
+  require(cells.size() == columns_.size(), "TablePrinter::row: cell count differs from columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  std::ostringstream os;
+  if (!std::isfinite(value)) {
+    os << (std::isnan(value) ? "n/a" : (value > 0 ? "inf" : "-inf"));
+  } else {
+    os << std::fixed << std::setprecision(precision) << value;
+  }
+  return os.str();
+}
+
+std::string TablePrinter::pm(double mean, double stddev, int precision) {
+  return num(mean, precision) + " +- " + num(stddev, precision);
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& cells : rows_)
+    for (std::size_t c = 0; c < cells.size(); ++c) widths[c] = std::max(widths[c], cells[c].size());
+
+  const auto print_separator = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  print_separator();
+  print_cells(columns_);
+  print_separator();
+  for (const auto& cells : rows_) print_cells(cells);
+  print_separator();
+}
+
+}  // namespace cloudwf

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief ASCII table rendering for benchmark/report output.
+///
+/// The bench binaries print each reproduced paper figure as an aligned text
+/// table (one series per column); TablePrinter handles layout, alignment and
+/// numeric formatting.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudwf {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+class TablePrinter {
+ public:
+  /// \p title is printed above the table; empty to omit.
+  explicit TablePrinter(std::string title = {});
+
+  /// Sets the column headers; must precede any row.
+  void columns(std::vector<std::string> names);
+
+  /// Adds a fully formatted row; must match the column count.
+  void row(std::vector<std::string> cells);
+
+  /// Formats a double with \p precision fractional digits.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+  /// Formats "mean ± stddev" the way the paper's tables do.
+  [[nodiscard]] static std::string pm(double mean, double stddev, int precision = 2);
+
+  /// Renders the table to \p out.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudwf

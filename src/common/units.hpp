@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file units.hpp
+/// \brief Unit conventions and conversion helpers.
+///
+/// cloudwf uses flat `double`s with fixed base units rather than strong unit
+/// types; the aliases below document intent at API boundaries.
+///
+///  * time      — seconds
+///  * data      — bytes
+///  * bandwidth — bytes per second
+///  * money     — US dollars
+///  * work      — abstract instructions ("weight" in the paper)
+///  * speed     — instructions per second
+
+#include <cstdint>
+
+namespace cloudwf {
+
+using Seconds = double;        ///< durations and timestamps
+using Bytes = double;          ///< data amounts (double: sizes get scaled/averaged)
+using BytesPerSec = double;    ///< bandwidths
+using Dollars = double;        ///< costs and budgets
+using Instructions = double;   ///< task weights
+using InstrPerSec = double;    ///< VM speeds
+
+namespace units {
+
+inline constexpr double KB = 1e3;   ///< kilobyte (SI)
+inline constexpr double MB = 1e6;   ///< megabyte (SI)
+inline constexpr double GB = 1e9;   ///< gigabyte (SI)
+
+inline constexpr double minute = 60.0;           ///< seconds per minute
+inline constexpr double hour = 3600.0;           ///< seconds per hour
+inline constexpr double day = 24.0 * hour;       ///< seconds per day
+inline constexpr double month = 30.0 * day;      ///< seconds per (billing) month
+
+/// Converts an hourly price to the per-second price cloudwf uses internally.
+[[nodiscard]] constexpr double per_hour(double dollars_per_hour) {
+  return dollars_per_hour / hour;
+}
+
+/// Converts a $/GB/month storage price into $/byte/second.
+[[nodiscard]] constexpr double per_gb_month(double dollars_per_gb_month) {
+  return dollars_per_gb_month / GB / month;
+}
+
+/// Converts a $/GB transfer price into $/byte.
+[[nodiscard]] constexpr double per_gb(double dollars_per_gb) { return dollars_per_gb / GB; }
+
+}  // namespace units
+
+/// Tolerance used when comparing monetary amounts (rounding noise only).
+inline constexpr Dollars money_epsilon = 1e-9;
+
+/// Tolerance used when comparing simulated timestamps.
+inline constexpr Seconds time_epsilon = 1e-9;
+
+}  // namespace cloudwf

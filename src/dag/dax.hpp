@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file dax.hpp
+/// \brief Pegasus DAX v3 import/export — the interchange format the paper's
+/// benchmark workflows ship in.
+///
+/// Import maps the DAX structure onto the paper's model:
+///  * each `<job>` becomes a task; its `runtime` attribute (seconds on the
+///    Pegasus reference host) times \p reference_speed gives the mean
+///    weight, and sigma = stddev_ratio * mu (the paper derives its
+///    stochastic instances the same way, Section V-A);
+///  * `<uses link="output">` files are matched to the `<uses link="input">`
+///    files of dependent jobs (declared by `<child>/<parent>`), and the
+///    matched file sizes become edge bytes (multiple shared files
+///    accumulate);
+///  * input files no job produces become external inputs (d_in,DC); output
+///    files no job consumes become external outputs (d_DC,out).
+///
+/// Export writes the same dialect, so cloudwf-generated workflows can be fed
+/// to other DAX-consuming tools.
+
+#include <string>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+/// Import options.
+struct DaxOptions {
+  InstrPerSec reference_speed = 1.0;  ///< instructions per reference-host second
+  double stddev_ratio = 0.5;          ///< sigma = ratio * mu for every job
+  Instructions min_weight = 1.0;      ///< floor for jobs with runtime 0
+};
+
+/// Parses DAX XML text into a frozen workflow.
+[[nodiscard]] Workflow from_dax(const std::string& text, const DaxOptions& options = {});
+
+/// Loads a DAX file.
+[[nodiscard]] Workflow load_dax(const std::string& path, const DaxOptions& options = {});
+
+/// Serializes \p wf as DAX v3.3 XML (runtime = mu / reference_speed).
+[[nodiscard]] std::string to_dax(const Workflow& wf, InstrPerSec reference_speed = 1.0);
+
+/// Writes \p wf as a DAX file.
+void save_dax(const Workflow& wf, const std::string& path, InstrPerSec reference_speed = 1.0);
+
+}  // namespace cloudwf::dag

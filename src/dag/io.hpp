@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file io.hpp
+/// \brief Workflow serialization: JSON interchange and Graphviz DOT export.
+///
+/// The JSON schema is a compact DAX-like format:
+/// \code{.json}
+/// {
+///   "name": "montage-90",
+///   "tasks": [{"name": "t0", "type": "mProjectPP", "mean": 1e9, "stddev": 2.5e8,
+///              "external_in": 1.2e8, "external_out": 0}],
+///   "edges": [{"src": "t0", "dst": "t1", "bytes": 4.2e7}]
+/// }
+/// \endcode
+/// Users with real Pegasus traces can convert DAX to this schema and load it.
+
+#include <string>
+
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+/// Serializes \p wf to the JSON schema above (pretty-printed).
+[[nodiscard]] std::string to_json(const Workflow& wf);
+
+/// Parses a workflow from JSON text and freezes it.
+[[nodiscard]] Workflow from_json(const std::string& text);
+
+/// Writes \p wf as JSON to \p path.
+void save_json(const Workflow& wf, const std::string& path);
+
+/// Loads a frozen workflow from a JSON file at \p path.
+[[nodiscard]] Workflow load_json(const std::string& path);
+
+/// Renders \p wf as a Graphviz digraph (node label = name, weight; edge
+/// label = megabytes) for visual inspection.
+[[nodiscard]] std::string to_dot(const Workflow& wf);
+
+}  // namespace cloudwf::dag

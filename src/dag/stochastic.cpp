@@ -1,0 +1,71 @@
+#include "dag/stochastic.hpp"
+
+#include "common/error.hpp"
+
+namespace cloudwf::dag {
+
+WeightRealization::WeightRealization(std::vector<Instructions> weights)
+    : weights_(std::move(weights)) {
+  for (Instructions w : weights_)
+    require(w > 0, "WeightRealization: weights must be positive");
+}
+
+Instructions WeightRealization::operator[](TaskId task) const {
+  require(task < weights_.size(), "WeightRealization: task id out of range");
+  return weights_[task];
+}
+
+WeightRealization sample_weights(const Workflow& wf, Rng& rng) {
+  std::vector<Instructions> weights;
+  weights.reserve(wf.task_count());
+  for (const Task& t : wf.tasks()) {
+    const double floor = weight_floor_fraction * t.mean_weight;
+    weights.push_back(rng.truncated_gaussian(t.mean_weight, t.weight_stddev, floor));
+  }
+  return WeightRealization(std::move(weights));
+}
+
+WeightRealization mean_weights(const Workflow& wf) {
+  std::vector<Instructions> weights;
+  weights.reserve(wf.task_count());
+  for (const Task& t : wf.tasks()) weights.push_back(t.mean_weight);
+  return WeightRealization(std::move(weights));
+}
+
+WeightRealization conservative_weights(const Workflow& wf) {
+  std::vector<Instructions> weights;
+  weights.reserve(wf.task_count());
+  for (const Task& t : wf.tasks()) weights.push_back(t.conservative_weight());
+  return WeightRealization(std::move(weights));
+}
+
+Workflow with_scaled_data(const Workflow& wf, double factor) {
+  require(factor > 0, "with_scaled_data: factor must be positive");
+  Workflow out(wf.name());
+  for (const Task& t : wf.tasks()) out.add_task(t.name, t.mean_weight, t.weight_stddev, t.type);
+  for (const Edge& e : wf.edges()) out.add_edge(e.src, e.dst, factor * e.bytes);
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    if (wf.external_input_of(t) > 0)
+      out.add_external_input(t, factor * wf.external_input_of(t));
+    if (wf.external_output_of(t) > 0)
+      out.add_external_output(t, factor * wf.external_output_of(t));
+  }
+  out.freeze();
+  return out;
+}
+
+Workflow with_stddev_ratio(const Workflow& wf, double ratio) {
+  require(ratio >= 0.0, "with_stddev_ratio: ratio must be non-negative");
+  Workflow out(wf.name());
+  for (const Task& t : wf.tasks())
+    out.add_task(t.name, t.mean_weight, ratio * t.mean_weight, t.type);
+  for (const Edge& e : wf.edges()) out.add_edge(e.src, e.dst, e.bytes);
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    if (wf.external_input_of(t) > 0) out.add_external_input(t, wf.external_input_of(t));
+    if (wf.external_output_of(t) > 0) out.add_external_output(t, wf.external_output_of(t));
+  }
+  out.freeze();
+  return out;
+}
+
+}  // namespace cloudwf::dag

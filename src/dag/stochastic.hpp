@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file stochastic.hpp
+/// \brief Stochastic task-weight models (paper Section III-A).
+///
+/// Schedulers never see actual weights: they plan on the conservative value
+/// mu + sigma.  The simulator executes a WeightRealization — one Gaussian
+/// draw per task, truncated below at a small fraction of the mean so that
+/// weights stay positive even at sigma = mu (the paper evaluates
+/// sigma/mu in {0.25, 0.5, 0.75, 1.0}).
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dag/workflow.hpp"
+
+namespace cloudwf::dag {
+
+/// How a consumer wants task weights evaluated.
+enum class WeightModel {
+  mean,          ///< mu (deterministic baseline)
+  conservative,  ///< mu + sigma (planning value, Section IV-A)
+  sampled,       ///< a concrete WeightRealization
+};
+
+/// One concrete draw of every task weight.
+class WeightRealization {
+ public:
+  WeightRealization() = default;
+  explicit WeightRealization(std::vector<Instructions> weights);
+
+  [[nodiscard]] std::size_t size() const { return weights_.size(); }
+  [[nodiscard]] Instructions operator[](TaskId task) const;
+  [[nodiscard]] const std::vector<Instructions>& weights() const { return weights_; }
+
+ private:
+  std::vector<Instructions> weights_;
+};
+
+/// Fraction of the mean used as the truncation floor for weight draws.
+inline constexpr double weight_floor_fraction = 0.01;
+
+/// Samples one realization for \p wf from \p rng (truncated Gaussian).
+[[nodiscard]] WeightRealization sample_weights(const Workflow& wf, Rng& rng);
+
+/// Deterministic realization at the mean weights.
+[[nodiscard]] WeightRealization mean_weights(const Workflow& wf);
+
+/// Deterministic realization at the conservative (mu + sigma) weights.
+[[nodiscard]] WeightRealization conservative_weights(const Workflow& wf);
+
+/// Returns a copy of \p wf whose stddevs are \p ratio times the means.
+/// This is how the experiment harness derives the sigma-sweep instances
+/// from one generated DAG (paper Section V-A).
+[[nodiscard]] Workflow with_stddev_ratio(const Workflow& wf, double ratio);
+
+/// Returns a copy of \p wf with every data size (edges, external I/O)
+/// multiplied by \p factor.  Used to sweep the communication-to-computation
+/// ratio, e.g. to emulate the paper's lower-bandwidth SimGrid setting in the
+/// datacenter-contention study (DESIGN.md Section 5).
+[[nodiscard]] Workflow with_scaled_data(const Workflow& wf, double factor);
+
+}  // namespace cloudwf::dag

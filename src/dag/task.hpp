@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file task.hpp
+/// \brief Task and edge records of the workflow DAG (paper Section III-A).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace cloudwf::dag {
+
+/// Dense task index inside one Workflow.
+using TaskId = std::uint32_t;
+
+/// Dense edge index inside one Workflow.
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no task".
+inline constexpr TaskId invalid_task = std::numeric_limits<TaskId>::max();
+
+/// One workflow task T_i.
+///
+/// The weight (number of instructions) is stochastic: it follows a Gaussian
+/// with mean `mean_weight` and standard deviation `weight_stddev`, truncated
+/// below so a realization is always positive.  Schedulers plan with the
+/// conservative value mean + stddev (paper Section IV-A).
+struct Task {
+  std::string name;              ///< unique within the workflow
+  std::string type;              ///< transformation name, e.g. "mProjectPP"
+  Instructions mean_weight = 0;  ///< mu_i
+  Instructions weight_stddev = 0;  ///< sigma_i
+
+  /// Conservative planning weight mu + sigma.
+  [[nodiscard]] Instructions conservative_weight() const { return mean_weight + weight_stddev; }
+};
+
+/// One dependency (T_src -> T_dst) carrying `bytes` of data.
+struct Edge {
+  TaskId src = invalid_task;
+  TaskId dst = invalid_task;
+  Bytes bytes = 0;  ///< size(d_{T_src, T_dst})
+};
+
+}  // namespace cloudwf::dag

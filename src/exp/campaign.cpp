@@ -1,0 +1,144 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "dag/stochastic.hpp"
+#include "exp/runner.hpp"
+
+namespace cloudwf::exp {
+
+bool quick_mode() {
+  const char* value = std::getenv("CLOUDWF_QUICK");
+  return value != nullptr && *value != '\0';
+}
+
+bool full_mode() {
+  const char* value = std::getenv("CLOUDWF_FULL");
+  return value != nullptr && *value != '\0';
+}
+
+void CampaignConfig::apply_quick_mode() {
+  if (!quick_mode()) return;
+  instances = std::min<std::size_t>(instances, 2);
+  budget_points = std::min<std::size_t>(budget_points, 4);
+  repetitions = std::min<std::size_t>(repetitions, 5);
+  tasks = std::min<std::size_t>(tasks, 30);
+}
+
+CampaignResult run_campaign(const platform::Platform& platform, const CampaignConfig& config) {
+  require(!config.algorithms.empty(), "run_campaign: no algorithms listed");
+  require(config.instances >= 1, "run_campaign: need at least one instance");
+  require(config.budget_points >= 2, "run_campaign: need at least two budget points");
+  require(config.low_budget_factor > 0, "run_campaign: low_budget_factor must be positive");
+
+  CampaignResult result;
+  result.config = config;
+  result.mean_budgets.assign(config.budget_points, 0);
+  result.cells.assign(config.algorithms.size(),
+                      std::vector<CampaignCell>(config.budget_points));
+
+  std::vector<Accumulator> budget_acc(config.budget_points);
+
+  // Phase 1 (serial): instances and their budget sweeps.
+  std::vector<dag::Workflow> instances;
+  instances.reserve(config.instances);
+  std::vector<std::vector<Dollars>> sweeps;
+  for (std::size_t inst = 0; inst < config.instances; ++inst) {
+    const pegasus::GeneratorConfig gen{config.tasks, config.seed + inst, config.sigma_ratio};
+    instances.push_back(pegasus::generate(config.type, gen));
+
+    BudgetLevels levels = compute_budget_levels(instances.back(), platform);
+    result.min_cost.add(levels.min_cost);
+    levels.low *= config.low_budget_factor;
+    if (config.high_budget_cap_factor > 0)
+      levels.high = std::max(levels.low * 1.01,
+                             std::min(levels.high, config.high_budget_cap_factor *
+                                                       levels.min_cost));
+    sweeps.push_back(budget_sweep(levels, config.budget_points));
+    for (std::size_t b = 0; b < config.budget_points; ++b) budget_acc[b].add(sweeps.back()[b]);
+  }
+
+  // Phase 2: the evaluation matrix, optionally across a thread pool.
+  std::vector<RunRequest> requests;
+  requests.reserve(config.instances * config.budget_points * config.algorithms.size());
+  for (std::size_t inst = 0; inst < config.instances; ++inst) {
+    for (std::size_t b = 0; b < config.budget_points; ++b) {
+      for (const std::string& algorithm : config.algorithms) {
+        RunRequest request;
+        request.wf = &instances[inst];
+        request.algorithm = algorithm;
+        request.budget = sweeps[inst][b];
+        request.config.repetitions = config.repetitions;
+        request.config.seed = config.seed * 1000003 + inst * 101 + b;
+        request.config.measure_cpu_time = true;
+        requests.push_back(std::move(request));
+      }
+    }
+  }
+  std::vector<EvalResult> results;
+  if (config.threads == 1) {
+    results = run_serial(platform, requests);
+  } else {
+    ThreadPool pool(config.threads);
+    results = run_parallel(platform, requests, pool);
+  }
+
+  // Phase 3: aggregation (deterministic request order).
+  std::size_t index = 0;
+  for (std::size_t inst = 0; inst < config.instances; ++inst) {
+    for (std::size_t b = 0; b < config.budget_points; ++b) {
+      for (std::size_t a = 0; a < config.algorithms.size(); ++a, ++index) {
+        const EvalResult& point = results[index];
+        CampaignCell& cell = result.cells[a][b];
+        cell.makespan.add(point.makespan.mean());
+        cell.cost.add(point.cost.mean());
+        cell.used_vms.add(static_cast<double>(point.used_vms));
+        cell.valid.add(point.valid_fraction);
+        cell.sched_time.add(point.schedule_seconds);
+      }
+    }
+  }
+
+  for (std::size_t b = 0; b < config.budget_points; ++b)
+    result.mean_budgets[b] = budget_acc[b].mean();
+  return result;
+}
+
+void print_campaign_table(std::ostream& out, const CampaignResult& result,
+                          const std::string& metric, const std::string& title) {
+  const auto pick = [&](const CampaignCell& cell) -> const Accumulator& {
+    if (metric == "makespan") return cell.makespan;
+    if (metric == "cost") return cell.cost;
+    if (metric == "vms") return cell.used_vms;
+    if (metric == "valid") return cell.valid;
+    if (metric == "sched_time") return cell.sched_time;
+    throw InvalidArgument("print_campaign_table: unknown metric '" + metric + "'");
+  };
+
+  TablePrinter table(title);
+  std::vector<std::string> columns{"budget($)"};
+  for (const std::string& algorithm : result.config.algorithms)
+    columns.push_back(algorithm);
+  table.columns(std::move(columns));
+
+  for (std::size_t b = 0; b < result.mean_budgets.size(); ++b) {
+    std::vector<std::string> cells{TablePrinter::num(result.mean_budgets[b], 4)};
+    for (std::size_t a = 0; a < result.config.algorithms.size(); ++a) {
+      const Accumulator& acc = pick(result.cells[a][b]);
+      const int precision = metric == "cost" ? 4 : 2;
+      cells.push_back(TablePrinter::pm(acc.mean(), acc.stddev(), precision));
+    }
+    table.row(std::move(cells));
+  }
+  table.print(out);
+  if (metric == "makespan")
+    out << "min_cost reference (all tasks on one cheapest VM): $"
+        << TablePrinter::num(result.min_cost.mean(), 4) << "\n";
+  out << '\n';
+}
+
+}  // namespace cloudwf::exp

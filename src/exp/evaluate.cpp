@@ -1,0 +1,68 @@
+#include "exp/evaluate.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dag/stochastic.hpp"
+#include "sched/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace cloudwf::exp {
+
+EvalResult evaluate(const dag::Workflow& wf, const platform::Platform& platform,
+                    std::string_view algorithm, Dollars budget, const EvalConfig& config) {
+  const auto scheduler = sched::make_scheduler(algorithm);
+  const sched::SchedulerInput input{wf, platform, budget};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sched::SchedulerOutput output = scheduler->schedule(input);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  EvalResult result = evaluate_schedule(wf, platform, output, algorithm, budget, config);
+  if (config.measure_cpu_time)
+    result.schedule_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& platform,
+                             const sched::SchedulerOutput& output, std::string_view algorithm,
+                             Dollars budget, const EvalConfig& config) {
+  require(config.repetitions > 0, "evaluate: repetitions must be positive");
+
+  EvalResult result;
+  result.algorithm = std::string(algorithm);
+  result.budget = budget;
+  result.predicted_makespan = output.predicted_makespan;
+  result.predicted_cost = output.predicted_cost;
+  result.predicted_feasible = output.budget_feasible;
+  result.used_vms = output.schedule.used_vm_count();
+
+  const sim::Simulator simulator(wf, platform);
+  const Rng base(config.seed);
+  std::size_t valid = 0;
+  std::size_t in_time = 0;
+  std::size_t objective = 0;
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    Rng stream = base.fork(rep);
+    const dag::WeightRealization weights = dag::sample_weights(wf, stream);
+    const sim::SimResult run = simulator.run(output.schedule, weights);
+    result.makespan.add(run.makespan);
+    result.cost.add(run.total_cost());
+    const bool within_budget = run.total_cost() <= budget + money_epsilon;
+    const bool within_deadline =
+        config.deadline <= 0 || run.makespan <= config.deadline + time_epsilon;
+    if (within_budget) ++valid;
+    if (within_deadline) ++in_time;
+    if (within_budget && within_deadline) ++objective;  // Eq. (3)
+  }
+  const auto fraction = [&](std::size_t count) {
+    return static_cast<double>(count) / static_cast<double>(config.repetitions);
+  };
+  result.valid_fraction = fraction(valid);
+  result.deadline_fraction = fraction(in_time);
+  result.objective_fraction = fraction(objective);
+  return result;
+}
+
+}  // namespace cloudwf::exp

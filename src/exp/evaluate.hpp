@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file evaluate.hpp
+/// \brief One experimental point: schedule once, execute many realizations.
+///
+/// Mirrors the paper's methodology (Section V-A): the scheduler sees only
+/// (mu, sigma) and the budget; the resulting static schedule is then executed
+/// against `repetitions` independent stochastic weight realizations.  Every
+/// repetition reports makespan, actual cost, VM count and budget validity
+/// (actual cost <= B_ini).
+
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dag/workflow.hpp"
+#include "platform/platform.hpp"
+#include "sched/scheduler.hpp"
+
+namespace cloudwf::exp {
+
+/// Repetition / seeding parameters.
+struct EvalConfig {
+  std::size_t repetitions = 25;   ///< stochastic executions per point
+  std::uint64_t seed = 0x5EEDu;   ///< base seed; realization r forks stream r
+  bool measure_cpu_time = false;  ///< time the scheduling call (Table III)
+  Seconds deadline = 0;           ///< D of Eq. (3); 0 = no deadline
+};
+
+/// Aggregated outcome of one (workflow, algorithm, budget) point.
+struct EvalResult {
+  std::string algorithm;
+  Dollars budget = 0;
+
+  // Deterministic prediction (conservative weights).
+  Seconds predicted_makespan = 0;
+  Dollars predicted_cost = 0;
+  bool predicted_feasible = false;
+  std::size_t used_vms = 0;  ///< VMs in the produced schedule
+
+  // Stochastic executions.
+  Summary makespan;          ///< seconds, one entry per repetition
+  Summary cost;              ///< dollars
+  double valid_fraction = 0; ///< fraction of repetitions with cost <= budget
+  /// Fraction of repetitions meeting the deadline (1 when none was set).
+  double deadline_fraction = 1.0;
+  /// Fraction of repetitions satisfying Eq. (3): deadline AND budget.
+  double objective_fraction = 0;
+
+  // Scheduler CPU time (wall time of the scheduling call), when measured.
+  Seconds schedule_seconds = 0;
+};
+
+/// Schedules \p wf with \p algorithm under \p budget, then executes
+/// \p config.repetitions sampled realizations.
+[[nodiscard]] EvalResult evaluate(const dag::Workflow& wf, const platform::Platform& platform,
+                                  std::string_view algorithm, Dollars budget,
+                                  const EvalConfig& config);
+
+/// Executes an existing scheduler output (for callers that already have one).
+[[nodiscard]] EvalResult evaluate_schedule(const dag::Workflow& wf,
+                                           const platform::Platform& platform,
+                                           const sched::SchedulerOutput& output,
+                                           std::string_view algorithm, Dollars budget,
+                                           const EvalConfig& config);
+
+}  // namespace cloudwf::exp

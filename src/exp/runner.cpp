@@ -1,0 +1,76 @@
+#include "exp/runner.hpp"
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace cloudwf::exp {
+
+namespace {
+
+void check_requests(std::span<const RunRequest> requests) {
+  for (const RunRequest& request : requests) {
+    require(request.wf != nullptr, "runner: RunRequest without a workflow");
+    require(request.wf->frozen(), "runner: workflow must be frozen");
+    require(!request.algorithm.empty(), "runner: RunRequest without an algorithm");
+  }
+}
+
+}  // namespace
+
+std::vector<EvalResult> run_parallel(const platform::Platform& platform,
+                                     std::span<const RunRequest> requests, ThreadPool& pool) {
+  check_requests(requests);
+  std::vector<EvalResult> results(requests.size());
+  pool.parallel_for(requests.size(), [&](std::size_t i) {
+    const RunRequest& request = requests[i];
+    results[i] =
+        evaluate(*request.wf, platform, request.algorithm, request.budget, request.config);
+  });
+  return results;
+}
+
+std::vector<EvalResult> run_serial(const platform::Platform& platform,
+                                   std::span<const RunRequest> requests) {
+  check_requests(requests);
+  std::vector<EvalResult> results;
+  results.reserve(requests.size());
+  for (const RunRequest& request : requests)
+    results.push_back(
+        evaluate(*request.wf, platform, request.algorithm, request.budget, request.config));
+  return results;
+}
+
+void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
+                       std::span<const EvalResult> results) {
+  require(requests.size() == results.size(), "write_results_csv: size mismatch");
+  CsvWriter csv(out);
+  csv.header({"workflow", "algorithm", "budget", "tag", "repetitions", "predicted_makespan",
+              "predicted_cost", "predicted_feasible", "used_vms", "makespan_mean",
+              "makespan_stddev", "makespan_p95", "cost_mean", "cost_stddev", "valid_fraction",
+              "deadline_fraction", "objective_fraction", "schedule_seconds"});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RunRequest& request = requests[i];
+    const EvalResult& r = results[i];
+    csv.field(request.wf->name())
+        .field(r.algorithm)
+        .field(r.budget)
+        .field(request.tag)
+        .field(r.makespan.count())
+        .field(r.predicted_makespan)
+        .field(r.predicted_cost)
+        .field(r.predicted_feasible ? 1 : 0)
+        .field(r.used_vms)
+        .field(r.makespan.mean())
+        .field(r.makespan.stddev())
+        .field(r.makespan.quantile(0.95))
+        .field(r.cost.mean())
+        .field(r.cost.stddev())
+        .field(r.valid_fraction)
+        .field(r.deadline_fraction)
+        .field(r.objective_fraction)
+        .field(r.schedule_seconds);
+    csv.end_row();
+  }
+}
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file runner.hpp
+/// \brief Parallel execution of experiment matrices + raw-result CSV export.
+///
+/// Every cloudwf component is a pure function of its inputs and seeds, so an
+/// experiment matrix parallelizes trivially: requests are evaluated across a
+/// ThreadPool and results land at their request's index regardless of
+/// execution order — output is bit-identical to a serial run.
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "exp/evaluate.hpp"
+
+namespace cloudwf::exp {
+
+/// One experimental point to evaluate.
+struct RunRequest {
+  const dag::Workflow* wf = nullptr;  ///< must outlive the run
+  std::string algorithm;
+  Dollars budget = 0;
+  EvalConfig config;
+  std::string tag;  ///< free-form label carried into the CSV ("inst=3;b=2")
+};
+
+/// Evaluates all \p requests over \p pool; results are index-aligned with
+/// the requests.  The first exception (if any) is rethrown after the pool
+/// drains.
+[[nodiscard]] std::vector<EvalResult> run_parallel(const platform::Platform& platform,
+                                                   std::span<const RunRequest> requests,
+                                                   ThreadPool& pool);
+
+/// Serial fallback with identical semantics.
+[[nodiscard]] std::vector<EvalResult> run_serial(const platform::Platform& platform,
+                                                 std::span<const RunRequest> requests);
+
+/// Writes one CSV row per (request, result): workflow, algorithm, budget,
+/// tag, prediction, per-repetition aggregates and validity fractions —
+/// the raw material external plotting scripts consume.
+void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
+                       std::span<const EvalResult> results);
+
+}  // namespace cloudwf::exp

@@ -1,0 +1,86 @@
+/// \file cybershake.cpp
+/// \brief CYBERSHAKE generator.
+///
+/// Structure (Section V-A): m ExtractSGT tasks produce huge seismogram
+/// strain tensors in parallel; each feeds a set of SeismogramSynthesis
+/// tasks (its directly connected calculating tasks); every synthesis feeds
+/// both the ZipSeis agglomerator and its own PeakValCalc, and all peak
+/// calculations feed the ZipPSA agglomerator.  Half the tasks (the
+/// synthesis ones) thus carry huge input data.
+///
+/// Task count: n = m + 2p + 2, where p synthesis/peak pairs are spread
+/// round-robin over the m extractions.
+
+#include <string>
+
+#include "common/error.hpp"
+#include "pegasus/detail.hpp"
+#include "pegasus/generator.hpp"
+
+namespace cloudwf::pegasus {
+
+namespace {
+
+// Reference magnitudes (weights in instructions at unit speed ~ seconds on
+// the small category; data in bytes), scaled from the Bharathi et al.
+// CyberShake characterization.
+constexpr Instructions w_extract = 2200;
+constexpr Instructions w_synthesis = 1600;
+constexpr Instructions w_peak = 120;
+constexpr Instructions w_zip_seis = 5300;
+constexpr Instructions w_zip_psa = 5200;
+
+constexpr Bytes d_sgt_external = 120e6;  ///< SGT tensor fetched from storage
+constexpr Bytes d_sgt_edge = 150e6;      ///< extraction -> synthesis (huge)
+constexpr Bytes d_seis = 0.8e6;          ///< synthesis -> zip / peak
+constexpr Bytes d_psa = 0.1e6;           ///< peak -> zip
+constexpr Bytes d_out_seis = 50e6;       ///< zipped seismograms to the user
+constexpr Bytes d_out_psa = 10e6;        ///< zipped PSA values to the user
+
+}  // namespace
+
+dag::Workflow generate_cybershake(const GeneratorConfig& config) {
+  detail::check_config(config);
+  Rng rng(config.seed);
+  dag::Workflow wf(detail::instance_name("cybershake", config));
+
+  const std::size_t n = config.task_count;
+  // n = m + 2p + 2; aim m ~ (n-2)/5 extractions, fix parity so p is integral.
+  std::size_t m = std::max<std::size_t>(1, (n - 2) / 5);
+  if ((n - 2 - m) % 2 != 0) ++m;
+  require(n >= m + 4, "generate_cybershake: task_count too small for structure");
+  const std::size_t p = (n - 2 - m) / 2;
+
+  std::vector<dag::TaskId> extract(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    extract[i] = detail::add_jittered_task(wf, rng, config, "ExtractSGT_" + std::to_string(i),
+                                           "ExtractSGT", w_extract);
+    wf.add_external_input(extract[i], detail::jittered_bytes(rng, d_sgt_external));
+  }
+
+  const dag::TaskId zip_seis =
+      detail::add_jittered_task(wf, rng, config, "ZipSeis", "ZipSeis", w_zip_seis);
+  const dag::TaskId zip_psa =
+      detail::add_jittered_task(wf, rng, config, "ZipPSA", "ZipPSA", w_zip_psa);
+
+  for (std::size_t j = 0; j < p; ++j) {
+    const dag::TaskId synthesis = detail::add_jittered_task(
+        wf, rng, config, "SeismogramSynthesis_" + std::to_string(j), "SeismogramSynthesis",
+        w_synthesis);
+    const dag::TaskId peak = detail::add_jittered_task(
+        wf, rng, config, "PeakValCalc_" + std::to_string(j), "PeakValCalc", w_peak);
+    wf.add_edge(extract[j % m], synthesis, detail::jittered_bytes(rng, d_sgt_edge));
+    wf.add_edge(synthesis, zip_seis, detail::jittered_bytes(rng, d_seis));
+    wf.add_edge(synthesis, peak, detail::jittered_bytes(rng, d_seis));
+    wf.add_edge(peak, zip_psa, detail::jittered_bytes(rng, d_psa));
+  }
+
+  wf.add_external_output(zip_seis, detail::jittered_bytes(rng, d_out_seis));
+  wf.add_external_output(zip_psa, detail::jittered_bytes(rng, d_out_psa));
+
+  wf.freeze();
+  CLOUDWF_ASSERT(wf.task_count() == n);
+  return wf;
+}
+
+}  // namespace cloudwf::pegasus

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file detail.hpp
+/// \brief Shared helpers of the pegasus generators (internal).
+
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "dag/workflow.hpp"
+#include "pegasus/generator.hpp"
+
+namespace cloudwf::pegasus::detail {
+
+/// "family-nNN-sSS" instance name.
+[[nodiscard]] std::string instance_name(std::string_view family, const GeneratorConfig& config);
+
+/// Validates the config (task_count, stddev_ratio).
+void check_config(const GeneratorConfig& config);
+
+/// Adds a task whose weight is \p base jittered by U(0.7, 1.3) from \p rng,
+/// with sigma = config.stddev_ratio * mu.
+dag::TaskId add_jittered_task(dag::Workflow& wf, Rng& rng, const GeneratorConfig& config,
+                              const std::string& name, const std::string& type,
+                              Instructions base);
+
+/// \p base bytes jittered by U(0.8, 1.2).
+[[nodiscard]] Bytes jittered_bytes(Rng& rng, Bytes base);
+
+}  // namespace cloudwf::pegasus::detail

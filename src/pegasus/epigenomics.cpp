@@ -1,0 +1,124 @@
+/// \file epigenomics.cpp
+/// \brief EPIGENOMICS generator (Bharathi et al.; beyond the paper's three
+/// evaluated families).
+///
+/// Structure: L independent lanes of sequencer reads; each lane is
+/// fastqSplit -> k parallel 4-stage pipelines (filterContams -> sol2sanger
+/// -> fastq2bfq -> map) -> mapMerge.  All lane merges feed the global
+/// maqIndex -> pileup tail.  The dominant trait is deep chains of cheap
+/// tasks ending in an expensive map step — the opposite shape of
+/// CYBERSHAKE's two-level fan.
+///
+/// Task count: n = L*(2 + 4k) + 2.  We fix k per lane and derive L from n,
+/// padding the last lane with extra pipelines.
+
+#include <string>
+
+#include "common/error.hpp"
+#include "pegasus/detail.hpp"
+#include "pegasus/generator.hpp"
+
+namespace cloudwf::pegasus {
+
+namespace {
+
+constexpr Instructions w_split = 300;
+constexpr Instructions w_filter = 1200;
+constexpr Instructions w_sol2sanger = 500;
+constexpr Instructions w_fastq2bfq = 400;
+constexpr Instructions w_map = 7000;
+constexpr Instructions w_merge = 1500;
+constexpr Instructions w_maqindex = 2500;
+constexpr Instructions w_pileup = 2000;
+
+constexpr Bytes d_lane_input = 400e6;  ///< raw reads per lane
+constexpr Bytes d_chunk = 60e6;        ///< split chunk flowing down a pipeline
+constexpr Bytes d_mapped = 20e6;       ///< map output
+constexpr Bytes d_merged = 80e6;       ///< per-lane merged alignments
+constexpr Bytes d_out = 150e6;         ///< final pileup
+
+constexpr std::size_t pipeline_stages = 4;
+
+}  // namespace
+
+dag::Workflow generate_epigenomics(const GeneratorConfig& config) {
+  detail::check_config(config);
+  require(config.task_count >= 8, "generate_epigenomics: task_count must be >= 8");
+  Rng rng(config.seed);
+  dag::Workflow wf(detail::instance_name("epigenomics", config));
+
+  const std::size_t n = config.task_count;
+  // Global tail: maqIndex + pileup.  Remaining budget: lanes of (2 + 4k).
+  const std::size_t budget = n - 2;
+  // Aim for k = 3 pipelines per lane; at least one lane with one pipeline.
+  constexpr std::size_t lane_base = 2 + pipeline_stages * 3;  // 14
+  std::size_t lanes = std::max<std::size_t>(1, budget / lane_base);
+  // Per-lane minimum is 2 + 4 = 6 tasks; shrink the lane count until the
+  // leftover fits whole extra pipelines in the last lane.
+  while (lanes > 1 && budget < lanes * 6) --lanes;
+  const std::size_t distributable = budget - lanes * 2;  // pipeline tasks
+  const std::size_t pipelines = distributable / pipeline_stages;
+  const std::size_t remainder = distributable % pipeline_stages;
+  require(pipelines >= lanes,
+          "generate_epigenomics: task_count incompatible with the lane structure (need "
+          "n = 2 + lanes*2 + 4*pipelines; try a multiple of 4 plus 8)");
+
+  const dag::TaskId maqindex =
+      detail::add_jittered_task(wf, rng, config, "maqIndex", "maqIndex", w_maqindex);
+  const dag::TaskId pileup =
+      detail::add_jittered_task(wf, rng, config, "pileup", "pileup", w_pileup);
+  wf.add_edge(maqindex, pileup, detail::jittered_bytes(rng, d_merged));
+  wf.add_external_output(pileup, detail::jittered_bytes(rng, d_out));
+
+  // The remainder (n not a multiple of the stage count) pads the first
+  // lane's split with extra standalone filter tasks.
+  std::size_t extra_filters = remainder;
+
+  std::size_t assigned_pipelines = 0;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::string suffix = "_l" + std::to_string(lane);
+    const dag::TaskId split = detail::add_jittered_task(wf, rng, config, "fastqSplit" + suffix,
+                                                        "fastqSplit", w_split);
+    wf.add_external_input(split, detail::jittered_bytes(rng, d_lane_input));
+    const dag::TaskId merge = detail::add_jittered_task(wf, rng, config, "mapMerge" + suffix,
+                                                        "mapMerge", w_merge);
+
+    // This lane's pipeline share: even split, last lane absorbs the rest.
+    std::size_t share = pipelines / lanes;
+    if (lane == lanes - 1) share = pipelines - assigned_pipelines;
+    assigned_pipelines += share;
+
+    for (std::size_t p = 0; p < share; ++p) {
+      const std::string tag = suffix + "_p" + std::to_string(p);
+      const dag::TaskId filter = detail::add_jittered_task(
+          wf, rng, config, "filterContams" + tag, "filterContams", w_filter);
+      const dag::TaskId sanger = detail::add_jittered_task(wf, rng, config, "sol2sanger" + tag,
+                                                           "sol2sanger", w_sol2sanger);
+      const dag::TaskId bfq = detail::add_jittered_task(wf, rng, config, "fastq2bfq" + tag,
+                                                        "fastq2bfq", w_fastq2bfq);
+      const dag::TaskId map =
+          detail::add_jittered_task(wf, rng, config, "map" + tag, "map", w_map);
+      wf.add_edge(split, filter, detail::jittered_bytes(rng, d_chunk));
+      wf.add_edge(filter, sanger, detail::jittered_bytes(rng, d_chunk));
+      wf.add_edge(sanger, bfq, detail::jittered_bytes(rng, d_chunk));
+      wf.add_edge(bfq, map, detail::jittered_bytes(rng, d_chunk));
+      wf.add_edge(map, merge, detail::jittered_bytes(rng, d_mapped));
+    }
+    for (std::size_t f = 0; f < extra_filters; ++f) {
+      const dag::TaskId filter = detail::add_jittered_task(
+          wf, rng, config, "filterContams" + suffix + "_x" + std::to_string(f),
+          "filterContams", w_filter);
+      wf.add_edge(split, filter, detail::jittered_bytes(rng, d_chunk));
+      wf.add_edge(filter, merge, detail::jittered_bytes(rng, d_chunk));
+    }
+    extra_filters = 0;
+
+    wf.add_edge(merge, maqindex, detail::jittered_bytes(rng, d_merged));
+  }
+
+  wf.freeze();
+  CLOUDWF_ASSERT(wf.task_count() == n);
+  return wf;
+}
+
+}  // namespace cloudwf::pegasus

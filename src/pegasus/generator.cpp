@@ -1,0 +1,65 @@
+#include "pegasus/generator.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "pegasus/detail.hpp"
+
+namespace cloudwf::pegasus {
+
+std::string_view to_string(WorkflowType type) {
+  switch (type) {
+    case WorkflowType::cybershake: return "cybershake";
+    case WorkflowType::ligo: return "ligo";
+    case WorkflowType::montage: return "montage";
+    case WorkflowType::epigenomics: return "epigenomics";
+    case WorkflowType::sipht: return "sipht";
+  }
+  throw InternalError("to_string: invalid WorkflowType");
+}
+
+WorkflowType parse_type(std::string_view name) {
+  if (name == "cybershake") return WorkflowType::cybershake;
+  if (name == "ligo") return WorkflowType::ligo;
+  if (name == "montage") return WorkflowType::montage;
+  if (name == "epigenomics") return WorkflowType::epigenomics;
+  if (name == "sipht") return WorkflowType::sipht;
+  throw InvalidArgument("parse_type: unknown workflow type '" + std::string(name) + "'");
+}
+
+dag::Workflow generate(WorkflowType type, const GeneratorConfig& config) {
+  switch (type) {
+    case WorkflowType::cybershake: return generate_cybershake(config);
+    case WorkflowType::ligo: return generate_ligo(config);
+    case WorkflowType::montage: return generate_montage(config);
+    case WorkflowType::epigenomics: return generate_epigenomics(config);
+    case WorkflowType::sipht: return generate_sipht(config);
+  }
+  throw InternalError("generate: invalid WorkflowType");
+}
+
+namespace detail {
+
+std::string instance_name(std::string_view family, const GeneratorConfig& config) {
+  std::ostringstream os;
+  os << family << "-n" << config.task_count << "-s" << config.seed;
+  return os.str();
+}
+
+void check_config(const GeneratorConfig& config) {
+  require(config.task_count >= 8, "GeneratorConfig: task_count must be >= 8");
+  require(config.stddev_ratio >= 0, "GeneratorConfig: negative stddev_ratio");
+}
+
+dag::TaskId add_jittered_task(dag::Workflow& wf, Rng& rng, const GeneratorConfig& config,
+                              const std::string& name, const std::string& type,
+                              Instructions base) {
+  const Instructions mean = base * rng.uniform(0.7, 1.3);
+  return wf.add_task(name, mean, config.stddev_ratio * mean, type);
+}
+
+Bytes jittered_bytes(Rng& rng, Bytes base) { return base * rng.uniform(0.8, 1.2); }
+
+}  // namespace detail
+
+}  // namespace cloudwf::pegasus

@@ -1,0 +1,117 @@
+/// \file ligo.cpp
+/// \brief LIGO Inspiral generator.
+///
+/// Structure (Section V-A): independent groups, each a two-stage
+/// agglomeration scheme — a little set of parallel TmpltBank -> Inspiral
+/// chains agglomerated by a Thinca; the Thinca then fans out to TrigBank ->
+/// Inspiral2 chains agglomerated by a Thinca2.  Groups do not communicate,
+/// so larger instances approach a bag of independent short workflows (the
+/// trait the paper uses to explain HEFTBUDG's shrinking advantage on LIGO).
+/// Most external inputs share the same large size; exactly one is oversized
+/// by a factor > 100.
+///
+/// A full group holds 2*gs + 2*gs2 + 2 tasks (gs = 4 first-stage chains,
+/// gs2 = 2 second-stage chains => 14); the last group absorbs the leftover
+/// task budget with extra first-stage chains (and one lone TrigBank when the
+/// leftover is odd).
+
+#include <string>
+
+#include "common/error.hpp"
+#include "pegasus/detail.hpp"
+#include "pegasus/generator.hpp"
+
+namespace cloudwf::pegasus {
+
+namespace {
+
+constexpr Instructions w_tmplt = 1800;
+constexpr Instructions w_inspiral = 4600;
+constexpr Instructions w_thinca = 500;
+constexpr Instructions w_trigbank = 900;
+
+constexpr Bytes d_input = 30e6;         ///< gravitational-wave frame data (uniform)
+constexpr double oversize_ratio = 120;  ///< the single oversized input
+constexpr Bytes d_tmplt = 30e6;         ///< TmpltBank -> Inspiral
+constexpr Bytes d_stage = 10e6;         ///< inter-stage edges
+constexpr Bytes d_out = 1e6;            ///< Thinca2 results to the user
+
+constexpr std::size_t group_stage1 = 4;  // gs in a full group
+constexpr std::size_t group_stage2 = 2;  // gs2 in a full group
+constexpr std::size_t group_size = 2 * group_stage1 + 2 * group_stage2 + 2;
+
+}  // namespace
+
+dag::Workflow generate_ligo(const GeneratorConfig& config) {
+  detail::check_config(config);
+  Rng rng(config.seed);
+  dag::Workflow wf(detail::instance_name("ligo", config));
+
+  const std::size_t n = config.task_count;
+  const std::size_t groups = std::max<std::size_t>(1, n / group_size);
+
+  std::vector<dag::TaskId> tmplt_tasks;  // to pick the oversized input later
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    const bool last = g + 1 == groups;
+    std::size_t gs = group_stage1;
+    std::size_t gs2 = group_stage2;
+    std::size_t lone_trigbank = 0;
+    if (last) {
+      // This group gets whatever tasks remain.
+      const std::size_t remaining = n - (groups - 1) * group_size;
+      CLOUDWF_ASSERT(remaining >= 8);  // guaranteed by task_count >= 8
+      gs2 = remaining >= 2 + 2 + 2 * group_stage2 + 2 ? group_stage2 : 1;
+      const std::size_t rest = remaining - 2 - 2 * gs2;  // for stage-1 chains
+      gs = rest / 2;
+      lone_trigbank = rest % 2;
+      CLOUDWF_ASSERT(gs >= 1);
+    }
+
+    const std::string suffix = "_" + std::to_string(g);
+
+    const dag::TaskId thinca =
+        detail::add_jittered_task(wf, rng, config, "Thinca" + suffix, "Thinca", w_thinca);
+    for (std::size_t i = 0; i < gs; ++i) {
+      const std::string tag = suffix + "_" + std::to_string(i);
+      const dag::TaskId tmplt =
+          detail::add_jittered_task(wf, rng, config, "TmpltBank" + tag, "TmpltBank", w_tmplt);
+      const dag::TaskId inspiral =
+          detail::add_jittered_task(wf, rng, config, "Inspiral" + tag, "Inspiral", w_inspiral);
+      wf.add_external_input(tmplt, detail::jittered_bytes(rng, d_input));
+      wf.add_edge(tmplt, inspiral, detail::jittered_bytes(rng, d_tmplt));
+      wf.add_edge(inspiral, thinca, detail::jittered_bytes(rng, d_stage));
+      tmplt_tasks.push_back(tmplt);
+    }
+
+    const dag::TaskId thinca2 =
+        detail::add_jittered_task(wf, rng, config, "Thinca2" + suffix, "Thinca", w_thinca);
+    for (std::size_t i = 0; i < gs2 + lone_trigbank; ++i) {
+      const std::string tag = suffix + "_" + std::to_string(i);
+      const dag::TaskId trigbank =
+          detail::add_jittered_task(wf, rng, config, "TrigBank" + tag, "TrigBank", w_trigbank);
+      wf.add_edge(thinca, trigbank, detail::jittered_bytes(rng, d_stage));
+      if (i < gs2) {
+        const dag::TaskId inspiral2 = detail::add_jittered_task(wf, rng, config, "Inspiral2" + tag,
+                                                                "Inspiral", w_inspiral);
+        wf.add_edge(trigbank, inspiral2, detail::jittered_bytes(rng, d_stage));
+        wf.add_edge(inspiral2, thinca2, detail::jittered_bytes(rng, d_stage));
+      } else {
+        // The lone TrigBank (odd leftover) reports to Thinca2 directly.
+        wf.add_edge(trigbank, thinca2, detail::jittered_bytes(rng, d_stage));
+      }
+    }
+    wf.add_external_output(thinca2, detail::jittered_bytes(rng, d_out));
+  }
+
+  // Exactly one oversized input (ratio > 100 vs the uniform size).
+  CLOUDWF_ASSERT(!tmplt_tasks.empty());
+  const dag::TaskId oversized = tmplt_tasks[rng.below(tmplt_tasks.size())];
+  wf.add_external_input(oversized, d_input * (oversize_ratio - 1));
+
+  wf.freeze();
+  CLOUDWF_ASSERT(wf.task_count() == n);
+  return wf;
+}
+
+}  // namespace cloudwf::pegasus

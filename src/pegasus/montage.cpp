@@ -1,0 +1,132 @@
+/// \file montage.cpp
+/// \brief MONTAGE generator.
+///
+/// Structure (Section V-A): m parallel re-projections (mProjectPP), a dense
+/// layer of overlap fits (mDiffFit) each reading two projected images — a
+/// ring of adjacent pairs plus seed-drawn extra pairs, which is what makes
+/// MONTAGE "plenty highly inter-connected" — agglomerated by mConcatFit ->
+/// mBgModel, then one background correction per image (mBackground, reading
+/// both the model and its own projection), and the final assembly tail
+/// mImgtbl -> mAdd -> mShrink -> mJPEG.  Weights and data sizes are of the
+/// same magnitude across the bulk of the tasks (the paper's "balanced"
+/// trait).
+///
+/// Task count: n = 2m + d + 6 with d >= m overlap fits.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "pegasus/detail.hpp"
+#include "pegasus/generator.hpp"
+
+namespace cloudwf::pegasus {
+
+namespace {
+
+constexpr Instructions w_project = 2000;
+constexpr Instructions w_diff = 800;
+constexpr Instructions w_concat = 6000;
+constexpr Instructions w_bgmodel = 8000;
+constexpr Instructions w_background = 2000;
+constexpr Instructions w_imgtbl = 3000;
+constexpr Instructions w_add = 9000;
+constexpr Instructions w_shrink = 4000;
+constexpr Instructions w_jpeg = 1000;
+
+constexpr Bytes d_raw = 4e6;     ///< raw FITS image from the archive
+constexpr Bytes d_image = 8e6;   ///< projected/corrected image
+constexpr Bytes d_fit = 0.4e6;   ///< fit parameters
+constexpr Bytes d_model = 0.2e6;  ///< background model / image table
+constexpr Bytes d_mosaic = 50e6;  ///< assembled mosaic
+constexpr Bytes d_preview = 10e6; ///< shrunk mosaic / JPEG
+
+constexpr std::size_t tail_tasks = 6;  // concat, bgmodel, imgtbl, add, shrink, jpeg
+
+}  // namespace
+
+dag::Workflow generate_montage(const GeneratorConfig& config) {
+  detail::check_config(config);
+  Rng rng(config.seed);
+  dag::Workflow wf(detail::instance_name("montage", config));
+
+  const std::size_t n = config.task_count;
+  // n = 2m + d + 6 with d in [m, ~1.5m]; pick m so d lands in range.
+  const std::size_t m = std::max<std::size_t>(1, (n - tail_tasks) / 3);
+  require(n >= 2 * m + m + tail_tasks, "generate_montage: task_count too small for structure");
+  const std::size_t d = n - 2 * m - tail_tasks;
+  CLOUDWF_ASSERT(d >= m || m == 1);
+
+  std::vector<dag::TaskId> project(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    project[i] = detail::add_jittered_task(wf, rng, config, "mProjectPP_" + std::to_string(i),
+                                           "mProjectPP", w_project);
+    wf.add_external_input(project[i], detail::jittered_bytes(rng, d_raw));
+  }
+
+  const dag::TaskId concat =
+      detail::add_jittered_task(wf, rng, config, "mConcatFit", "mConcatFit", w_concat);
+
+  // Overlap pairs: the adjacency ring first (guaranteed connectivity), then
+  // seed-drawn extra pairs without duplicates.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(d);
+  for (std::size_t i = 0; i < std::min(d, m); ++i)
+    if (m > 1) pairs.emplace_back(i, (i + 1) % m);
+  if (m == 1)
+    while (pairs.size() < d) pairs.emplace_back(0, 0);
+  while (pairs.size() < d) {
+    std::size_t a = rng.below(m);
+    std::size_t b = rng.below(m);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (std::find(pairs.begin(), pairs.end(), std::make_pair(a, b)) != pairs.end() &&
+        pairs.size() < m * (m - 1) / 2)
+      continue;
+    pairs.emplace_back(a, b);
+  }
+
+  for (std::size_t j = 0; j < d; ++j) {
+    const dag::TaskId diff = detail::add_jittered_task(wf, rng, config,
+                                                       "mDiffFit_" + std::to_string(j),
+                                                       "mDiffFit", w_diff);
+    if (m == 1) {
+      wf.add_edge(project[0], diff, detail::jittered_bytes(rng, d_image));
+    } else {
+      wf.add_edge(project[pairs[j].first], diff, detail::jittered_bytes(rng, d_image));
+      wf.add_edge(project[pairs[j].second], diff, detail::jittered_bytes(rng, d_image));
+    }
+    wf.add_edge(diff, concat, detail::jittered_bytes(rng, d_fit));
+  }
+
+  const dag::TaskId bgmodel =
+      detail::add_jittered_task(wf, rng, config, "mBgModel", "mBgModel", w_bgmodel);
+  wf.add_edge(concat, bgmodel, detail::jittered_bytes(rng, d_fit));
+
+  const dag::TaskId imgtbl =
+      detail::add_jittered_task(wf, rng, config, "mImgtbl", "mImgtbl", w_imgtbl);
+  const dag::TaskId add = detail::add_jittered_task(wf, rng, config, "mAdd", "mAdd", w_add);
+  for (std::size_t i = 0; i < m; ++i) {
+    const dag::TaskId background = detail::add_jittered_task(
+        wf, rng, config, "mBackground_" + std::to_string(i), "mBackground", w_background);
+    wf.add_edge(bgmodel, background, detail::jittered_bytes(rng, d_model));
+    wf.add_edge(project[i], background, detail::jittered_bytes(rng, d_image));
+    wf.add_edge(background, imgtbl, detail::jittered_bytes(rng, d_model));
+    wf.add_edge(background, add, detail::jittered_bytes(rng, d_image));
+  }
+  wf.add_edge(imgtbl, add, detail::jittered_bytes(rng, d_model));
+
+  const dag::TaskId shrink =
+      detail::add_jittered_task(wf, rng, config, "mShrink", "mShrink", w_shrink);
+  wf.add_edge(add, shrink, detail::jittered_bytes(rng, d_mosaic));
+  const dag::TaskId jpeg = detail::add_jittered_task(wf, rng, config, "mJPEG", "mJPEG", w_jpeg);
+  wf.add_edge(shrink, jpeg, detail::jittered_bytes(rng, d_preview));
+  wf.add_external_output(jpeg, detail::jittered_bytes(rng, d_preview));
+
+  wf.freeze();
+  CLOUDWF_ASSERT(wf.task_count() == n);
+  return wf;
+}
+
+}  // namespace cloudwf::pegasus

@@ -1,0 +1,30 @@
+#include "platform/pricing.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cloudwf::platform {
+
+Dollars vm_cost(const VmCategory& category, Seconds start, Seconds end,
+                Seconds billing_quantum) {
+  require(end >= start, "vm_cost: VM ends before it starts");
+  require(billing_quantum >= 0, "vm_cost: negative billing quantum");
+  Seconds billed = end - start;
+  if (billing_quantum > 0)
+    billed = std::ceil(billed / billing_quantum - 1e-12) * billing_quantum;
+  return billed * category.price_per_second + category.setup_cost;
+}
+
+CostBreakdown datacenter_cost(const Platform& platform, Bytes external_in, Bytes external_out,
+                              Seconds start_first, Seconds end_last, Bytes footprint) {
+  require(end_last >= start_first, "datacenter_cost: negative duration");
+  require(external_in >= 0 && external_out >= 0, "datacenter_cost: negative transfer volume");
+  require(footprint >= 0, "datacenter_cost: negative footprint");
+  CostBreakdown cost;
+  cost.dc_transfer = (external_in + external_out) * platform.dc_transfer_price_per_byte();
+  cost.dc_time = (end_last - start_first) * platform.dc_rate_for_footprint(footprint);
+  return cost;
+}
+
+}  // namespace cloudwf::platform

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file pricing.hpp
+/// \brief Cost model of Section III-C, Equations (1) and (2).
+
+#include "common/units.hpp"
+#include "platform/platform.hpp"
+
+namespace cloudwf::platform {
+
+/// Itemized cost of one workflow execution.
+struct CostBreakdown {
+  Dollars vm_time = 0;      ///< sum over VMs of (H_end - H_start) * c_h,k
+  Dollars vm_setup = 0;     ///< sum over VMs of c_ini,k
+  Dollars dc_time = 0;      ///< (H_end,last - H_start,first) * c_h,DC
+  Dollars dc_transfer = 0;  ///< (d_in,DC + d_DC,out) * c_iof
+
+  [[nodiscard]] Dollars total() const { return vm_time + vm_setup + dc_time + dc_transfer; }
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    vm_time += other.vm_time;
+    vm_setup += other.vm_setup;
+    dc_time += other.dc_time;
+    dc_transfer += other.dc_transfer;
+    return *this;
+  }
+};
+
+/// Cost of one VM instance per Equation (1): usage duration times the
+/// per-second rate, plus the setup cost.  A positive \p billing_quantum
+/// rounds the billed duration up to its next multiple (hourly billing =
+/// 3600); 0 bills continuously.
+[[nodiscard]] Dollars vm_cost(const VmCategory& category, Seconds start, Seconds end,
+                              Seconds billing_quantum = 0);
+
+/// Datacenter cost per Equation (2).
+/// \p footprint is the data volume charged for storage (we use the
+/// workflow's total data footprint; see DESIGN.md Section 2).
+[[nodiscard]] CostBreakdown datacenter_cost(const Platform& platform, Bytes external_in,
+                                            Bytes external_out, Seconds start_first,
+                                            Seconds end_last, Bytes footprint);
+
+}  // namespace cloudwf::platform

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file vm.hpp
+/// \brief VM category description (paper Section III-B).
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace cloudwf::platform {
+
+/// Index of a VM category within a Platform (sorted by price).
+using CategoryId = std::uint32_t;
+
+/// One VM category offered by the provider.
+///
+/// A category fixes the speed, prices and processor count of every instance
+/// provisioned from it.  Categories are sorted inside Platform by
+/// non-decreasing price-per-second (the paper's c_h,1 <= ... <= c_h,k).
+struct VmCategory {
+  std::string name;                ///< e.g. "small"
+  InstrPerSec speed = 1.0;         ///< s_k, instructions per second
+  Dollars price_per_second = 0.0;  ///< c_h,k, charged per elapsed second
+  Dollars setup_cost = 0.0;        ///< c_ini,k, charged once per instance
+  std::uint32_t processors = 1;    ///< n_k, independent task slots
+
+  /// Dollars spent per instruction when running flat out; the headline
+  /// "value" metric when comparing categories.
+  [[nodiscard]] double cost_per_instruction() const { return price_per_second / speed; }
+};
+
+}  // namespace cloudwf::platform

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file bdt.hpp
+/// \brief BDT — Budget Distribution with Trickling (Section V-D1).
+///
+/// Re-implementation of the competitor of [Arabnejad & Barbosa], extended to
+/// the paper's platform model exactly as Section V-D1 describes:
+///
+///  1. Tasks are grouped into precedence levels.
+///  2. The budget is shared across levels (we split B_calc from Algorithm 1
+///     proportionally to the levels' estimated time, so BDT faces the same
+///     reservations as the paper's own algorithms — a documented
+///     interpretation, the paper only says "using the same task weights").
+///  3. Levels are scheduled in order, tasks inside a level by increasing
+///     EST.  The "All-in" strategy tentatively grants the whole remaining
+///     level budget to the head task; what it does not consume trickles to
+///     the next task, and level leftovers trickle to the next level.
+///  4. The host maximizing TCTF = TimeFactor / CostFactor is chosen, with
+///     CostFactor = (subBudg - ct) / (subBudg - ct_min) and TimeFactor =
+///     (ECT_max - ECT) / (ECT_max - ECT_min); hosts costing more than
+///     subBudg are ineligible.  When nothing is eligible BDT falls back to
+///     the cheapest host and overruns — the eager behaviour that makes it
+///     frequently violate small budgets (Figure 3's %valid rows).
+
+#include "sched/scheduler.hpp"
+
+namespace cloudwf::sched {
+
+/// BDT with the "All-in" level-budget strategy.
+class BdtScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bdt"; }
+
+  [[nodiscard]] SchedulerOutput schedule(const SchedulerInput& input) const override;
+};
+
+}  // namespace cloudwf::sched

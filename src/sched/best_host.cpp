@@ -1,0 +1,43 @@
+#include "sched/best_host.hpp"
+
+#include "common/error.hpp"
+
+namespace cloudwf::sched {
+
+BestHost get_best_host(const EftState& state, const sim::Schedule& schedule, dag::TaskId task,
+                       std::optional<Dollars> budget_cap) {
+  const auto hosts = state.candidates(schedule);
+  CLOUDWF_ASSERT(!hosts.empty());
+
+  bool have_affordable = false;
+  HostCandidate best_host{};
+  PlacementEstimate best_estimate{};
+  HostCandidate cheapest_host{};
+  PlacementEstimate cheapest_estimate{};
+  bool have_cheapest = false;
+
+  for (const HostCandidate& host : hosts) {
+    const PlacementEstimate estimate = state.estimate(task, host, schedule);
+
+    // Track the overall cheapest placement as the fallback.
+    if (!have_cheapest || estimate.cost < cheapest_estimate.cost ||
+        (estimate.cost == cheapest_estimate.cost &&
+         better_placement(estimate, host, cheapest_estimate, cheapest_host))) {
+      have_cheapest = true;
+      cheapest_host = host;
+      cheapest_estimate = estimate;
+    }
+
+    if (budget_cap && estimate.cost > *budget_cap + money_epsilon) continue;
+    if (!have_affordable || better_placement(estimate, host, best_estimate, best_host)) {
+      have_affordable = true;
+      best_host = host;
+      best_estimate = estimate;
+    }
+  }
+
+  if (have_affordable) return BestHost{best_host, best_estimate, true};
+  return BestHost{cheapest_host, cheapest_estimate, false};
+}
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file best_host.hpp
+/// \brief getBestHost (Algorithm 2): cheapest-feasible-fastest host choice.
+
+#include <optional>
+
+#include "sched/eft.hpp"
+
+namespace cloudwf::sched {
+
+/// Outcome of one getBestHost call.
+struct BestHost {
+  HostCandidate host;
+  PlacementEstimate estimate;
+  /// True when the chosen host respects the budget cap (always true without
+  /// a cap).  When no host is affordable the cheapest one is returned with
+  /// affordable = false — the schedule must still complete; feasibility is
+  /// judged at the end (the paper reports such runs as budget violations).
+  bool affordable = true;
+};
+
+/// Selects the host with the smallest EFT among those whose cost ct(T,host)
+/// stays within \p budget_cap (B_T + pot); without a cap, plain smallest
+/// EFT (the baseline MIN-MIN/HEFT behaviour).
+[[nodiscard]] BestHost get_best_host(const EftState& state, const sim::Schedule& schedule,
+                                     dag::TaskId task, std::optional<Dollars> budget_cap);
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,69 @@
+#include "sched/budget.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cloudwf::sched {
+
+Seconds sequential_estimate(const dag::Workflow& wf, const platform::Platform& platform) {
+  const Seconds compute = wf.total_conservative_weight() / platform.mean_speed();
+  const Seconds io =
+      (wf.external_input_bytes() + wf.external_output_bytes()) / platform.bandwidth();
+  return compute + io;
+}
+
+Seconds task_time_estimate(const dag::Workflow& wf, const platform::Platform& platform,
+                           dag::TaskId task) {
+  const Seconds compute = wf.task(task).conservative_weight() / platform.mean_speed();
+  const Seconds transfer =
+      (wf.predecessor_bytes(task) + wf.external_input_of(task)) / platform.bandwidth();
+  return compute + transfer;
+}
+
+BudgetShares divide_budget(const dag::Workflow& wf, const platform::Platform& platform,
+                           Dollars b_ini, bool reserve) {
+  require(wf.frozen(), "divide_budget: workflow must be frozen");
+  require(b_ini >= 0, "divide_budget: negative budget");
+
+  BudgetShares shares;
+  shares.b_ini = b_ini;
+
+  if (reserve) {
+    // Datacenter reservation: Eq. (2) on the sequential scenario, charging
+    // the storage rate on the conservative footprint (all data transits the
+    // DC).
+    const Seconds t_seq = sequential_estimate(wf, platform);
+    const Bytes footprint =
+        wf.external_input_bytes() + wf.external_output_bytes() + wf.total_edge_bytes();
+    shares.reserved_dc =
+        (wf.external_input_bytes() + wf.external_output_bytes()) *
+            platform.dc_transfer_price_per_byte() +
+        t_seq * platform.dc_rate_for_footprint(footprint);
+
+    // One (cheapest-category) setup per task: n VMs, "ready to pay the price
+    // for parallelism".
+    shares.reserved_setup =
+        static_cast<double>(wf.task_count()) *
+        platform.category(platform.cheapest_category()).setup_cost;
+  }
+
+  shares.b_calc = std::max(0.0, b_ini - shares.reserved_dc - shares.reserved_setup);
+
+  // Proportional split (Eq. 5); the t_calc,T values sum to t_calc,wf by
+  // construction, so the B_T sum to b_calc.
+  Seconds t_wf = 0;
+  std::vector<Seconds> t_task(wf.task_count());
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    t_task[t] = task_time_estimate(wf, platform, t);
+    t_wf += t_task[t];
+  }
+  CLOUDWF_ASSERT(t_wf > 0);
+
+  shares.per_task.resize(wf.task_count());
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t)
+    shares.per_task[t] = t_task[t] / t_wf * shares.b_calc;
+  return shares;
+}
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,114 @@
+#include "sched/eft.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cloudwf::sched {
+
+bool better_placement(const PlacementEstimate& a, const HostCandidate& ha,
+                      const PlacementEstimate& b, const HostCandidate& hb) {
+  if (a.eft != b.eft) return a.eft < b.eft;
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (ha.fresh != hb.fresh) return !ha.fresh;  // prefer reusing a VM
+  if (ha.fresh) return ha.category < hb.category;
+  return ha.vm < hb.vm;
+}
+
+EftState::EftState(const dag::Workflow& wf, const platform::Platform& platform)
+    : wf_(wf),
+      platform_(platform),
+      finish_(wf.task_count(), -1.0),
+      at_dc_(wf.edge_count(), -1.0) {
+  require(wf.frozen(), "EftState: workflow must be frozen");
+}
+
+std::vector<HostCandidate> EftState::candidates(const sim::Schedule& schedule) const {
+  std::vector<HostCandidate> hosts;
+  hosts.reserve(schedule.vm_count() + platform_.category_count());
+  for (sim::VmId vm = 0; vm < schedule.vm_count(); ++vm) {
+    if (schedule.vm_tasks(vm).empty()) continue;
+    hosts.push_back(HostCandidate{vm, schedule.vm_category(vm), false});
+  }
+  for (platform::CategoryId c = 0; c < platform_.category_count(); ++c)
+    hosts.push_back(HostCandidate{sim::invalid_vm, c, true});
+  return hosts;
+}
+
+PlacementEstimate EftState::estimate(dag::TaskId task, const HostCandidate& host,
+                                     const sim::Schedule& schedule) const {
+  require(task < wf_.task_count(), "EftState::estimate: task out of range");
+  const platform::VmCategory& category = platform_.category(host.category);
+
+  Bytes d_in = wf_.external_input_of(task);
+  Seconds inputs_at_dc = 0;
+  for (dag::EdgeId e : wf_.in_edges(task)) {
+    const dag::Edge& edge = wf_.edge(e);
+    CLOUDWF_ASSERT_MSG(finish_[edge.src] >= 0, "EftState::estimate: predecessor not committed");
+    const bool on_host = !host.fresh && schedule.vm_of(edge.src) == host.vm;
+    if (on_host) continue;  // data produced on this very VM: free
+    d_in += edge.bytes;
+    inputs_at_dc = std::max(inputs_at_dc, at_dc_[e]);
+  }
+
+  PlacementEstimate out;
+  const Seconds avail = host.fresh ? 0.0 : avail_[host.vm];
+  out.begin = std::max(avail, inputs_at_dc);
+  out.exec = (host.fresh ? platform_.boot_delay() : 0.0) +
+             wf_.task(task).conservative_weight() / category.speed +
+             d_in / platform_.bandwidth();
+  out.eft = out.begin + out.exec;
+
+  // Conservative cost: assume every output (edge data + external output)
+  // is uploaded to the datacenter while the VM is still billed.
+  Bytes d_out = wf_.external_output_of(task);
+  for (dag::EdgeId e : wf_.out_edges(task)) d_out += wf_.edge(e).bytes;
+  out.upload = d_out / platform_.bandwidth();
+  // Marginal billed time (see eft.hpp): a reused host also bills the idle
+  // gap until t_begin; a fresh host's boot is uncharged.
+  const Seconds billed = host.fresh ? out.exec - platform_.boot_delay() + out.upload
+                                    : out.eft - avail + out.upload;
+  out.cost = billed * category.price_per_second;
+  return out;
+}
+
+sim::VmId EftState::commit(dag::TaskId task, const HostCandidate& host,
+                           const PlacementEstimate& estimate, sim::Schedule& schedule) {
+  require(finish_[task] < 0, "EftState::commit: task already committed");
+  sim::VmId vm = host.vm;
+  if (host.fresh) {
+    vm = schedule.add_vm(host.category);
+    if (avail_.size() <= vm) avail_.resize(vm + 1, 0.0);
+  }
+  schedule.assign(task, vm);
+  avail_[vm] = estimate.eft;
+  finish_[task] = estimate.eft;
+  planned_makespan_ = std::max(planned_makespan_, estimate.eft);
+  for (dag::EdgeId e : wf_.out_edges(task))
+    at_dc_[e] = estimate.eft + wf_.edge(e).bytes / platform_.bandwidth();
+  return vm;
+}
+
+Seconds EftState::finish_time(dag::TaskId task) const {
+  require(task < finish_.size() && finish_[task] >= 0,
+          "EftState::finish_time: task not committed");
+  return finish_[task];
+}
+
+Seconds EftState::at_dc_time(dag::EdgeId edge) const {
+  require(edge < at_dc_.size() && at_dc_[edge] >= 0, "EftState::at_dc_time: not committed");
+  return at_dc_[edge];
+}
+
+Seconds EftState::vm_available(sim::VmId vm) const {
+  require(vm < avail_.size(), "EftState::vm_available: vm not provisioned via commit");
+  return avail_[vm];
+}
+
+Seconds EftState::ready_at_dc(dag::TaskId task) const {
+  Seconds ready = 0;
+  for (dag::EdgeId e : wf_.in_edges(task)) ready = std::max(ready, at_dc_time(e));
+  return ready;
+}
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file eft.hpp
+/// \brief Incremental Earliest-Finish-Time estimation (Algorithm 2).
+///
+/// EftState mirrors the paper's planning equations while a list scheduler
+/// builds its schedule task by task:
+///
+///   t_Exec(T,h) = delta_new * t_boot + (mu_T + sigma_T)/s_h + d_in(T,h)/bw   (Eq. 7)
+///   t_begin(T,h) = max(avail(h), max over cross-host inputs of their
+///                      at-DC time)
+///   EFT(T,h)    = t_begin + t_Exec
+///
+/// d_in counts only data not already on the host (outputs of tasks that ran
+/// there), plus external inputs.  The cost conservatively charges uploading
+/// every output of T to the datacenter — the paper's "pessimistic estimation
+/// of the cost of data transfers".  For timing, per-edge uploads proceed in
+/// parallel at bw (at-DC time of edge e is finish(producer) + bytes(e)/bw).
+///
+/// Cost refinement over the paper's ct = t_Exec * c_h: VMs bill by elapsed
+/// time (Eq. 1), so a reused host is also billed for the idle gap while it
+/// waits for T's inputs, and a fresh host's uncharged boot must NOT be
+/// billed.  We therefore charge the true *marginal billed time*:
+///
+///   ct(T,h) = (EFT - avail(h) + upload(T)/bw) * c_h        (reused host)
+///   ct(T,h) = (t_Exec - t_boot + upload(T)/bw) * c_h        (fresh host)
+///
+/// Without this, schedules systematically overrun the budget under Eq. (1)
+/// billing, losing the paper's headline "budget respected" property.
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "dag/workflow.hpp"
+#include "platform/platform.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sched {
+
+/// A placement candidate: an already-used VM or a fresh one of a category.
+struct HostCandidate {
+  sim::VmId vm = sim::invalid_vm;      ///< valid when !fresh
+  platform::CategoryId category = 0;   ///< category of the (fresh or used) VM
+  bool fresh = false;
+};
+
+/// Predicted metrics of running one task next on one host.
+struct PlacementEstimate {
+  Seconds begin = 0;   ///< t_begin
+  Seconds exec = 0;    ///< t_Exec
+  Seconds eft = 0;     ///< begin + exec
+  Seconds upload = 0;  ///< conservative output-upload duration
+  Dollars cost = 0;    ///< ct(T, host)
+};
+
+/// Deterministic "better host" ordering used by every list scheduler:
+/// smaller EFT first, then cheaper, then used-before-fresh, then smaller
+/// vm/category id.  Returns true when `a` beats `b`.
+[[nodiscard]] bool better_placement(const PlacementEstimate& a, const HostCandidate& ha,
+                                    const PlacementEstimate& b, const HostCandidate& hb);
+
+/// Mutable planning state of one list-scheduling run.
+class EftState {
+ public:
+  EftState(const dag::Workflow& wf, const platform::Platform& platform);
+
+  /// Host candidates per the paper: every VM already holding a task in
+  /// \p schedule, plus one fresh VM of each category.
+  [[nodiscard]] std::vector<HostCandidate> candidates(const sim::Schedule& schedule) const;
+
+  /// Estimates placing \p task next on \p host.  All predecessors of the
+  /// task must already be committed.
+  [[nodiscard]] PlacementEstimate estimate(dag::TaskId task, const HostCandidate& host,
+                                           const sim::Schedule& schedule) const;
+
+  /// Commits the placement, provisioning a fresh VM in \p schedule when
+  /// needed; returns the VM id used.
+  sim::VmId commit(dag::TaskId task, const HostCandidate& host, const PlacementEstimate& estimate,
+                   sim::Schedule& schedule);
+
+  /// Planned finish time of a committed task.
+  [[nodiscard]] Seconds finish_time(dag::TaskId task) const;
+  /// Planned at-DC availability of a committed task's edge data.
+  [[nodiscard]] Seconds at_dc_time(dag::EdgeId edge) const;
+  /// Earliest time the cross-host inputs of \p task are at the DC, assuming
+  /// its producers are committed (BDT's EST ordering).
+  [[nodiscard]] Seconds ready_at_dc(dag::TaskId task) const;
+  /// Max planned finish over committed tasks.
+  [[nodiscard]] Seconds planned_makespan() const { return planned_makespan_; }
+  /// Planned availability (end of last committed task) of a provisioned VM.
+  [[nodiscard]] Seconds vm_available(sim::VmId vm) const;
+
+ private:
+  const dag::Workflow& wf_;
+  const platform::Platform& platform_;
+  std::vector<Seconds> finish_;     // per task; -1 when not committed
+  std::vector<Seconds> at_dc_;      // per edge; meaningful once producer committed
+  std::vector<Seconds> avail_;      // per provisioned VM
+  Seconds planned_makespan_ = 0;
+};
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,46 @@
+#include "sched/heft.hpp"
+
+#include "common/error.hpp"
+#include "dag/analysis.hpp"
+#include "sched/best_host.hpp"
+#include "sched/budget.hpp"
+
+namespace cloudwf::sched {
+
+sim::Schedule HeftScheduler::run_list_pass(const SchedulerInput& input, bool budget_aware,
+                                           std::vector<dag::TaskId>& list_out,
+                                           const HeftBudgOptions& options) {
+  const dag::Workflow& wf = input.wf;
+  require(wf.frozen(), "HeftScheduler: workflow must be frozen");
+
+  const dag::RankParams rank_params{input.platform.mean_speed(), input.platform.bandwidth(),
+                                    /*conservative=*/true};
+  const auto ranks = dag::bottom_levels(wf, rank_params);
+  list_out = dag::heft_order(wf, rank_params);
+
+  BudgetShares shares;
+  if (budget_aware)
+    shares = divide_budget(wf, input.platform, input.budget, options.reserve_budget);
+  Dollars pot = 0;
+
+  sim::Schedule schedule(wf.task_count());
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) schedule.set_priority(t, ranks[t]);
+
+  EftState state(wf, input.platform);
+  for (dag::TaskId task : list_out) {
+    const std::optional<Dollars> cap =
+        budget_aware ? std::optional<Dollars>(shares.share(task) + pot) : std::nullopt;
+    const BestHost best = get_best_host(state, schedule, task, cap);
+    state.commit(task, best.host, best.estimate, schedule);
+    if (budget_aware && options.share_pot) pot += shares.share(task) - best.estimate.cost;
+  }
+  return schedule;
+}
+
+SchedulerOutput HeftScheduler::schedule(const SchedulerInput& input) const {
+  std::vector<dag::TaskId> list;
+  sim::Schedule result = run_list_pass(input, budget_aware_, list, options_);
+  return finish(input, std::move(result));
+}
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,22 @@
+#include "sched/heft_budg_plus.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sched/heft.hpp"
+#include "sched/refine.hpp"
+
+namespace cloudwf::sched {
+
+SchedulerOutput HeftBudgPlusScheduler::schedule(const SchedulerInput& input) const {
+  // Step 1: the HEFTBUDG pass (Algorithm 5, lines 2-3).
+  std::vector<dag::TaskId> list;
+  sim::Schedule current = HeftScheduler::run_list_pass(input, /*budget_aware=*/true, list);
+  if (inverse_) std::reverse(list.begin(), list.end());
+
+  // Steps 2-3: evaluate and re-map task by task (lines 4-17).
+  refine_by_resimulation(input, current, list);
+  return finish(input, std::move(current));
+}
+
+}  // namespace cloudwf::sched

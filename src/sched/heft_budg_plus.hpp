@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file heft_budg_plus.hpp
+/// \brief HEFTBUDG+ and HEFTBUDG+INV (Algorithm 5).
+///
+/// HEFTBUDG's many conservative choices typically leave part of B_ini
+/// unspent.  The refined variants re-examine every placement: starting from
+/// the HEFTBUDG schedule, they walk the rank-ordered task list (forward for
+/// HEFTBUDG+, reversed for HEFTBUDG+INV) and, for each task, try every
+/// alternative host (each used VM except the current one, plus a fresh VM of
+/// each category).  Each tentative move is evaluated by fully re-simulating
+/// the schedule with the deterministic conservative-weights predictor; the
+/// move is kept when it beats the best makespan seen so far while the
+/// predicted total cost stays within B_ini.
+///
+/// Complexity is O(n (n+e) p) — one or two orders of magnitude above
+/// HEFTBUDG (Table III) — which is the scalability trade-off the paper
+/// discusses.
+
+#include "sched/scheduler.hpp"
+
+namespace cloudwf::sched {
+
+/// HEFTBUDG+ (forward) or HEFTBUDG+INV (reverse task order).
+class HeftBudgPlusScheduler final : public Scheduler {
+ public:
+  explicit HeftBudgPlusScheduler(bool inverse_order) : inverse_(inverse_order) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return inverse_ ? "heft-budg-plus-inv" : "heft-budg-plus";
+  }
+
+  [[nodiscard]] SchedulerOutput schedule(const SchedulerInput& input) const override;
+
+ private:
+  bool inverse_;
+};
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,83 @@
+#include "sched/minmin.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/best_host.hpp"
+#include "sched/budget.hpp"
+#include "sched/refine.hpp"
+
+namespace cloudwf::sched {
+
+sim::Schedule MinMinScheduler::run_list_pass(const SchedulerInput& input, bool budget_aware,
+                                             std::vector<dag::TaskId>& order_out) {
+  const dag::Workflow& wf = input.wf;
+  require(wf.frozen(), "MinMinScheduler: workflow must be frozen");
+
+  BudgetShares shares;
+  if (budget_aware) shares = divide_budget(wf, input.platform, input.budget);
+  Dollars pot = 0;
+
+  sim::Schedule schedule(wf.task_count());
+  EftState state(wf, input.platform);
+  order_out.clear();
+  order_out.reserve(wf.task_count());
+
+  // Ready set maintenance.
+  std::vector<std::size_t> pending(wf.task_count());
+  std::vector<dag::TaskId> ready;
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    pending[t] = wf.in_edges(t).size();
+    if (pending[t] == 0) ready.push_back(t);
+  }
+
+  std::size_t scheduled = 0;
+  while (scheduled < wf.task_count()) {
+    CLOUDWF_ASSERT(!ready.empty());
+
+    // Among ready tasks, find the pair (task, best host) with minimal EFT.
+    std::size_t best_index = 0;
+    BestHost best{};
+    bool have_best = false;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const dag::TaskId t = ready[i];
+      const std::optional<Dollars> cap =
+          budget_aware ? std::optional<Dollars>(shares.share(t) + pot) : std::nullopt;
+      const BestHost candidate = get_best_host(state, schedule, t, cap);
+      if (!have_best ||
+          better_placement(candidate.estimate, candidate.host, best.estimate, best.host)) {
+        have_best = true;
+        best = candidate;
+        best_index = i;
+      }
+    }
+
+    const dag::TaskId task = ready[best_index];
+    state.commit(task, best.host, best.estimate, schedule);
+    if (budget_aware) pot += shares.share(task) - best.estimate.cost;
+    order_out.push_back(task);
+    ++scheduled;
+
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_index));
+    for (dag::EdgeId e : wf.out_edges(task)) {
+      const dag::TaskId succ = wf.edge(e).dst;
+      if (--pending[succ] == 0) ready.push_back(succ);
+    }
+  }
+  return schedule;
+}
+
+SchedulerOutput MinMinScheduler::schedule(const SchedulerInput& input) const {
+  std::vector<dag::TaskId> order;
+  sim::Schedule result = run_list_pass(input, budget_aware_, order);
+  return finish(input, std::move(result));
+}
+
+SchedulerOutput MinMinBudgPlusScheduler::schedule(const SchedulerInput& input) const {
+  std::vector<dag::TaskId> order;
+  sim::Schedule current = MinMinScheduler::run_list_pass(input, /*budget_aware=*/true, order);
+  refine_by_resimulation(input, current, order);
+  return finish(input, std::move(current));
+}
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file minmin.hpp
+/// \brief MIN-MIN and its budget-aware extension MIN-MINBUDG (Algorithm 3),
+/// plus the MINMINBUDG+ refinement the paper suggests in Section V-B.
+///
+/// Classic MIN-MIN list scheduling: repeatedly pick, among ready tasks, the
+/// (task, host) pair with the overall smallest EFT and commit it.  The
+/// budget-aware variant restricts each task's host choice to those whose
+/// cost fits its budget share B_T plus the shared leftover pot; leftovers
+/// (B_T - ct) flow back into the pot.
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace cloudwf::sched {
+
+/// MIN-MIN (budget-unaware) or MIN-MINBUDG (budget-aware).
+class MinMinScheduler final : public Scheduler {
+ public:
+  explicit MinMinScheduler(bool budget_aware) : budget_aware_(budget_aware) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return budget_aware_ ? "minmin-budg" : "minmin";
+  }
+
+  [[nodiscard]] SchedulerOutput schedule(const SchedulerInput& input) const override;
+
+  /// Core pass shared with MINMINBUDG+: returns the (uncompacted) schedule
+  /// and the decision order of the MIN-MIN loop.
+  [[nodiscard]] static sim::Schedule run_list_pass(const SchedulerInput& input, bool budget_aware,
+                                                   std::vector<dag::TaskId>& order_out);
+
+ private:
+  bool budget_aware_;
+};
+
+/// MINMINBUDG+ — the paper's "similar improvements could be designed for
+/// MIN-MINBUDG" (Section V-B): the Algorithm 5 refinement sweep applied to
+/// MIN-MINBUDG's schedule, visiting tasks in the MIN-MIN decision order.
+class MinMinBudgPlusScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "minmin-budg-plus"; }
+
+  [[nodiscard]] SchedulerOutput schedule(const SchedulerInput& input) const override;
+};
+
+}  // namespace cloudwf::sched

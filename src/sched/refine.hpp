@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file refine.hpp
+/// \brief The Algorithm 5 refinement loop, factored out of HEFTBUDG+.
+///
+/// Given any complete schedule and a task visit order, the loop tries every
+/// alternative host per task (used VMs except the current one, plus one
+/// fresh VM per category), fully re-simulates each tentative move with the
+/// conservative predictor, and keeps moves that beat the best makespan seen
+/// so far while the total cost stays within the budget.  HEFTBUDG+ /
+/// HEFTBUDG+INV instantiate it on HEFTBUDG's schedule; MINMINBUDG+ (the
+/// extension the paper suggests in Section V-B: "similar improvements could
+/// be designed for MIN-MINBUDG") instantiates it on MIN-MINBUDG's.
+
+#include <span>
+
+#include "sched/scheduler.hpp"
+
+namespace cloudwf::sched {
+
+/// Runs the refinement sweep in place; \p order is the task visit order
+/// (every task exactly once).  Returns the number of applied moves.
+std::size_t refine_by_resimulation(const SchedulerInput& input, sim::Schedule& schedule,
+                                   std::span<const dag::TaskId> order);
+
+}  // namespace cloudwf::sched

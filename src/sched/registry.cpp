@@ -1,0 +1,43 @@
+#include "sched/registry.hpp"
+
+#include "common/error.hpp"
+#include "sched/bdt.hpp"
+#include "sched/cg.hpp"
+#include "sched/heft.hpp"
+#include "sched/heft_budg_plus.hpp"
+#include "sched/minmin.hpp"
+
+namespace cloudwf::sched {
+
+std::vector<std::string> algorithm_names() {
+  return {"minmin",
+          "heft",
+          "minmin-budg",
+          "heft-budg",
+          "minmin-budg-plus",
+          "heft-budg-plus",
+          "heft-budg-plus-inv",
+          "bdt",
+          "cg",
+          "cg-plus"};
+}
+
+std::unique_ptr<Scheduler> make_scheduler(std::string_view name) {
+  if (name == "minmin") return std::make_unique<MinMinScheduler>(false);
+  if (name == "minmin-budg") return std::make_unique<MinMinScheduler>(true);
+  if (name == "minmin-budg-plus") return std::make_unique<MinMinBudgPlusScheduler>();
+  if (name == "heft") return std::make_unique<HeftScheduler>(false);
+  if (name == "heft-budg") return std::make_unique<HeftScheduler>(true);
+  if (name == "heft-budg-plus") return std::make_unique<HeftBudgPlusScheduler>(false);
+  if (name == "heft-budg-plus-inv") return std::make_unique<HeftBudgPlusScheduler>(true);
+  if (name == "bdt") return std::make_unique<BdtScheduler>();
+  if (name == "cg") return std::make_unique<CgScheduler>(false);
+  if (name == "cg-plus") return std::make_unique<CgScheduler>(true);
+  throw InvalidArgument("make_scheduler: unknown algorithm '" + std::string(name) + "'");
+}
+
+bool is_budget_aware(std::string_view name) {
+  return name != "minmin" && name != "heft";
+}
+
+}  // namespace cloudwf::sched

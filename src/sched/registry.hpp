@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief Name-based factory for every scheduling algorithm.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace cloudwf::sched {
+
+/// Canonical algorithm names, in the paper's presentation order:
+/// "minmin", "heft", "minmin-budg", "heft-budg", "minmin-budg-plus"
+/// (the refinement the paper suggests for MIN-MINBUDG), "heft-budg-plus",
+/// "heft-budg-plus-inv", "bdt", "cg", "cg-plus".
+[[nodiscard]] std::vector<std::string> algorithm_names();
+
+/// Instantiates the scheduler registered under \p name.
+/// Throws InvalidArgument for unknown names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(std::string_view name);
+
+/// True when \p name designates a budget-aware algorithm (ignores budget
+/// otherwise).
+[[nodiscard]] bool is_budget_aware(std::string_view name);
+
+}  // namespace cloudwf::sched

@@ -1,0 +1,17 @@
+#include "sched/scheduler.hpp"
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace cloudwf::sched {
+
+SchedulerOutput Scheduler::finish(const SchedulerInput& input, sim::Schedule schedule) {
+  sim::Schedule compacted = schedule.compacted();
+  const sim::Simulator simulator(input.wf, input.platform);
+  const sim::SimResult prediction = simulator.run_conservative(compacted);
+  SchedulerOutput out{std::move(compacted), prediction.makespan, prediction.total_cost(), false};
+  out.budget_feasible = out.predicted_cost <= input.budget + money_epsilon;
+  return out;
+}
+
+}  // namespace cloudwf::sched

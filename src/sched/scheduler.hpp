@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// \brief Common interface of all scheduling algorithms (Section IV).
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "dag/workflow.hpp"
+#include "platform/platform.hpp"
+#include "sim/result.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sched {
+
+/// Everything a scheduler needs for one decision problem.
+struct SchedulerInput {
+  const dag::Workflow& wf;              ///< frozen workflow
+  const platform::Platform& platform;   ///< VM categories + datacenter
+  Dollars budget = 0;                   ///< B_ini; ignored by budget-unaware baselines
+};
+
+/// A produced schedule plus its deterministic prediction.
+///
+/// The prediction comes from running the simulator with conservative
+/// (mu + sigma) weights — the same `simulate()` Algorithm 5 uses — so every
+/// algorithm's feasibility is judged by one consistent model.
+struct SchedulerOutput {
+  sim::Schedule schedule;         ///< complete, compacted mapping
+  Seconds predicted_makespan = 0; ///< conservative-weights makespan
+  Dollars predicted_cost = 0;     ///< conservative-weights C_wf
+  bool budget_feasible = false;   ///< predicted_cost <= budget (+ rounding)
+};
+
+/// Abstract scheduling algorithm.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Canonical lower-case name, e.g. "heft-budg".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Computes a complete schedule for \p input.
+  [[nodiscard]] virtual SchedulerOutput schedule(const SchedulerInput& input) const = 0;
+
+ protected:
+  /// Runs the conservative predictor on \p schedule and packages the output.
+  [[nodiscard]] static SchedulerOutput finish(const SchedulerInput& input,
+                                              sim::Schedule schedule);
+};
+
+}  // namespace cloudwf::sched

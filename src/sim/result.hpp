@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file result.hpp
+/// \brief Outputs of one simulated workflow execution.
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "dag/task.hpp"
+#include "platform/pricing.hpp"
+#include "sim/schedule.hpp"
+
+namespace cloudwf::sim {
+
+/// Per-task execution record.
+struct TaskRecord {
+  VmId vm = invalid_vm;      ///< the VM that (finally) executed the task
+  Seconds inputs_at_dc = 0;  ///< when the last cross-VM input reached the DC
+  Seconds start = 0;         ///< (final) compute start
+  Seconds finish = 0;        ///< compute end
+  std::size_t restarts = 0;  ///< online-mode interruptions of this task
+  /// The task whose completion/upload/processor-release gated our start;
+  /// dag::invalid_task when gated only by boot or time zero.  Follows the
+  /// schedule's critical path backwards (used by CG+).
+  dag::TaskId bound_by = dag::invalid_task;
+};
+
+/// Per-VM usage record; the billing interval is [boot_done, end].
+struct VmRecord {
+  platform::CategoryId category = 0;
+  Seconds boot_request = 0;  ///< booking time (H_start for the DC clock)
+  Seconds boot_done = 0;     ///< billing starts here (boot is uncharged)
+  Seconds end = 0;           ///< last compute/transfer on this VM (H_end,v)
+  Seconds busy = 0;          ///< total compute seconds
+  std::size_t task_count = 0;
+};
+
+/// Aggregate transfer statistics.
+struct TransferStats {
+  std::size_t count = 0;          ///< completed transfers (uploads + downloads)
+  Bytes bytes = 0;                ///< total bytes moved through the DC
+  std::size_t peak_concurrent = 0;  ///< max simultaneous flows (contention)
+};
+
+/// Everything one Simulator::run produces.
+struct SimResult {
+  Seconds start_first = 0;  ///< booking time of the first VM (H_start,first)
+  Seconds end_last = 0;     ///< last upload/computation end (H_end,last)
+  Seconds makespan = 0;     ///< end_last - start_first (Eq. 3)
+  platform::CostBreakdown cost;  ///< C_wf itemization (Eq. 1 + 2)
+  std::size_t used_vms = 0;      ///< VMs that executed at least one task
+  std::vector<TaskRecord> tasks;
+  std::vector<VmRecord> vms;  ///< indexed by VmId; unused VMs have task_count 0
+  TransferStats transfers;
+  std::size_t migrations = 0;  ///< online-mode task interruptions (total)
+
+  [[nodiscard]] Dollars total_cost() const { return cost.total(); }
+};
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,648 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "platform/pricing.hpp"
+#include "sim/fluid.hpp"
+
+namespace cloudwf::sim {
+
+namespace {
+
+constexpr Seconds infinity = std::numeric_limits<Seconds>::infinity();
+
+/// Direction of a transfer relative to the VM.
+enum class Direction { upload, download };
+
+/// What a completed flow means.
+enum class JobKind { edge_upload, ext_output_upload, edge_download, ext_input_download };
+
+struct TransferJob {
+  JobKind kind{};
+  VmId vm = invalid_vm;
+  dag::EdgeId edge = 0;                  // for edge_* kinds
+  dag::TaskId task = dag::invalid_task;  // producer (uploads) / consumer (downloads)
+  Bytes bytes = 0;
+};
+
+/// Engine events other than flow completions.
+struct Event {
+  Seconds time = 0;
+  std::uint64_t seq = 0;  // insertion order; makes ties deterministic
+  enum class Kind { boot_done, task_done, timeout } kind{};
+  VmId vm = invalid_vm;
+  dag::TaskId task = dag::invalid_task;
+  std::uint32_t epoch = 0;  // task (re)start generation; stale events are dropped
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// One full execution; built fresh per Simulator::run call.
+///
+/// The task-to-VM mapping starts as a copy of the static Schedule but is
+/// *mutable*: the online policy (paper Section VI) may interrupt a running
+/// task and restart it on a freshly provisioned VM of the fastest category.
+class Execution {
+ public:
+  Execution(const dag::Workflow& wf, const platform::Platform& platform,
+            const Schedule& schedule, const dag::WeightRealization& weights,
+            const OnlinePolicy* policy)
+      : wf_(wf),
+        platform_(platform),
+        schedule_(schedule),
+        weights_(weights),
+        policy_(policy),
+        fluid_(platform.bandwidth(), platform.dc_aggregate_bandwidth()) {}
+
+  SimResult run();
+
+ private:
+  // ---- state --------------------------------------------------------------
+
+  enum class BootState { unrequested, booting, up };
+
+  struct VmState {
+    BootState boot = BootState::unrequested;
+    Seconds boot_request = 0;
+    Seconds boot_done = 0;
+    Seconds end = 0;   // last activity
+    Seconds busy = 0;  // total compute time
+    std::size_t next_start_idx = 0;
+    std::uint32_t free_procs = 0;
+    std::deque<std::size_t> queue_up;    // pending TransferJob indexes
+    std::deque<std::size_t> queue_down;  // pending TransferJob indexes
+    bool uplink_busy = false;
+    bool downlink_busy = false;
+    std::size_t tasks_done = 0;
+  };
+
+  struct TaskState {
+    std::size_t remote_in_pending = 0;  // downloads not yet finished
+    std::size_t local_in_pending = 0;   // same-VM predecessors not finished
+    std::size_t dc_in_pending = 0;      // cross-VM inputs not yet at the DC
+    bool started = false;
+    bool finished = false;
+    std::uint32_t epoch = 0;  // bumped on every interruption
+    Seconds gate_time = 0;
+    dag::TaskId gate_task = dag::invalid_task;
+  };
+
+  const dag::Workflow& wf_;
+  const platform::Platform& platform_;
+  const Schedule& schedule_;
+  const dag::WeightRealization& weights_;
+  const OnlinePolicy* policy_;  // nullptr = offline (static) execution
+  FluidNetwork fluid_;
+
+  // Mutable mapping (seeded from schedule_, extended by migrations).
+  std::vector<VmPlan> plans_;
+  std::vector<VmId> vm_of_;
+
+  std::vector<VmState> vms_;
+  std::vector<TaskState> tasks_;
+  std::vector<Seconds> edge_at_dc_;        // -1 until uploaded (cross-VM edges only)
+  std::vector<bool> edge_needs_transfer_;  // vm_of_[src] != vm_of_[dst]
+  std::vector<bool> download_enqueued_;    // per edge
+  std::vector<TransferJob> jobs_;
+  std::vector<std::size_t> flow_to_job_;  // FlowId -> job index
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t next_seq_ = 0;
+  Seconds now_ = 0;
+  std::size_t tasks_finished_ = 0;
+  std::size_t transfers_done_ = 0;
+  Bytes transfer_bytes_ = 0;
+  std::size_t migrations_ = 0;
+  std::vector<TaskRecord> records_;
+
+  // ---- helpers --------------------------------------------------------------
+
+  void push_event(Seconds time, Event::Kind kind, VmId vm, dag::TaskId task,
+                  std::uint32_t epoch = 0) {
+    events_.push(Event{time, next_seq_++, kind, vm, task, epoch});
+  }
+
+  void gate_update(dag::TaskId task, Seconds time, dag::TaskId cause) {
+    TaskState& ts = tasks_[task];
+    if (time >= ts.gate_time) {
+      ts.gate_time = time;
+      if (cause != dag::invalid_task) ts.gate_task = cause;
+    }
+  }
+
+  [[nodiscard]] const platform::VmCategory& vm_category(VmId vm) const {
+    return platform_.category(plans_[vm].category);
+  }
+
+  [[nodiscard]] InstrPerSec vm_speed(VmId vm) const { return vm_category(vm).speed; }
+
+  void init();
+  void main_loop();
+  void request_boot(VmId vm);
+  void on_boot_done(VmId vm);
+  void enqueue_job(TransferJob job);
+  void pump_link(VmId vm, Direction dir);
+  void on_flow_complete(FlowId flow);
+  void on_upload_done(const TransferJob& job);
+  void on_download_done(const TransferJob& job);
+  void try_start_tasks(VmId vm);
+  void on_task_done(VmId vm, dag::TaskId task);
+  void on_timeout(VmId vm, dag::TaskId task);
+  void migrate(VmId from, dag::TaskId task);
+  [[nodiscard]] Dollars committed_vm_cost() const;
+  [[noreturn]] void report_deadlock() const;
+  [[nodiscard]] SimResult finalize() const;
+};
+
+void Execution::init() {
+  schedule_.validate(wf_, platform_);
+  require(weights_.size() == wf_.task_count(),
+          "Simulator: weight realization size differs from workflow");
+
+  plans_.reserve(schedule_.vm_count() + 8);
+  vm_of_.resize(wf_.task_count());
+  for (VmId v = 0; v < schedule_.vm_count(); ++v) {
+    const auto tasks = schedule_.vm_tasks(v);
+    plans_.push_back(VmPlan{schedule_.vm_category(v), {tasks.begin(), tasks.end()}});
+  }
+  for (dag::TaskId t = 0; t < wf_.task_count(); ++t) vm_of_[t] = schedule_.vm_of(t);
+
+  vms_.resize(plans_.size());
+  for (VmId v = 0; v < plans_.size(); ++v) vms_[v].free_procs = vm_category(v).processors;
+
+  tasks_.resize(wf_.task_count());
+  records_.resize(wf_.task_count());
+  edge_at_dc_.assign(wf_.edge_count(), -1.0);
+  edge_needs_transfer_.assign(wf_.edge_count(), false);
+  download_enqueued_.assign(wf_.edge_count(), false);
+
+  for (dag::EdgeId e = 0; e < wf_.edge_count(); ++e) {
+    const dag::Edge& edge = wf_.edge(e);
+    edge_needs_transfer_[e] = vm_of_[edge.src] != vm_of_[edge.dst];
+  }
+  for (dag::TaskId t = 0; t < wf_.task_count(); ++t) {
+    records_[t].vm = vm_of_[t];
+    for (dag::EdgeId e : wf_.in_edges(t)) {
+      if (edge_needs_transfer_[e]) {
+        ++tasks_[t].remote_in_pending;
+        ++tasks_[t].dc_in_pending;
+      } else {
+        ++tasks_[t].local_in_pending;
+      }
+    }
+    if (wf_.external_input_of(t) > 0) ++tasks_[t].remote_in_pending;
+  }
+
+  // Book every VM whose first task already has its cross-VM inputs at the DC
+  // (entry tasks: external inputs wait at the DC from time zero).
+  for (VmId v = 0; v < plans_.size(); ++v) {
+    const auto& tasks = plans_[v].tasks;
+    if (!tasks.empty() && tasks_[tasks.front()].dc_in_pending == 0) request_boot(v);
+  }
+}
+
+void Execution::request_boot(VmId vm) {
+  VmState& state = vms_[vm];
+  CLOUDWF_ASSERT(state.boot == BootState::unrequested);
+  state.boot = BootState::booting;
+  state.boot_request = now_;
+  state.boot_done = now_ + platform_.boot_delay();
+  push_event(state.boot_done, Event::Kind::boot_done, vm, dag::invalid_task);
+}
+
+void Execution::on_boot_done(VmId vm) {
+  VmState& state = vms_[vm];
+  state.boot = BootState::up;
+  state.end = std::max(state.end, now_);
+
+  // Enqueue every download that is already possible, in list order (stable
+  // FIFO per link keeps the run deterministic).
+  for (dag::TaskId t : plans_[vm].tasks) {
+    if (tasks_[t].started || tasks_[t].finished) continue;  // migration leftovers
+    if (wf_.external_input_of(t) > 0)
+      enqueue_job({JobKind::ext_input_download, vm, 0, t, wf_.external_input_of(t)});
+    for (dag::EdgeId e : wf_.in_edges(t)) {
+      if (!edge_needs_transfer_[e] || download_enqueued_[e]) continue;
+      if (edge_at_dc_[e] >= 0) {
+        download_enqueued_[e] = true;
+        enqueue_job({JobKind::edge_download, vm, e, t, wf_.edge(e).bytes});
+      }
+    }
+  }
+  try_start_tasks(vm);
+}
+
+void Execution::enqueue_job(TransferJob job) {
+  const bool is_upload = job.kind == JobKind::edge_upload || job.kind == JobKind::ext_output_upload;
+  if (job.bytes <= 0) {
+    // Zero-byte data is instantaneous; dispatch inline.
+    if (is_upload)
+      on_upload_done(job);
+    else
+      on_download_done(job);
+    return;
+  }
+  jobs_.push_back(job);
+  VmState& state = vms_[job.vm];
+  (is_upload ? state.queue_up : state.queue_down).push_back(jobs_.size() - 1);
+  pump_link(job.vm, is_upload ? Direction::upload : Direction::download);
+}
+
+void Execution::pump_link(VmId vm, Direction dir) {
+  VmState& state = vms_[vm];
+  auto& queue = dir == Direction::upload ? state.queue_up : state.queue_down;
+  bool& busy = dir == Direction::upload ? state.uplink_busy : state.downlink_busy;
+  if (busy || queue.empty()) return;
+  const std::size_t job_index = queue.front();
+  queue.pop_front();
+  busy = true;
+  const FlowId flow = fluid_.start_flow(jobs_[job_index].bytes, now_);
+  if (flow_to_job_.size() <= flow) flow_to_job_.resize(flow + 1);
+  flow_to_job_[flow] = job_index;
+}
+
+void Execution::on_flow_complete(FlowId flow) {
+  const TransferJob job = jobs_[flow_to_job_[flow]];
+  VmState& state = vms_[job.vm];
+  state.end = std::max(state.end, now_);
+  ++transfers_done_;
+  transfer_bytes_ += job.bytes;
+
+  const bool is_upload = job.kind == JobKind::edge_upload || job.kind == JobKind::ext_output_upload;
+  (is_upload ? state.uplink_busy : state.downlink_busy) = false;
+  pump_link(job.vm, is_upload ? Direction::upload : Direction::download);
+
+  if (is_upload)
+    on_upload_done(job);
+  else
+    on_download_done(job);
+}
+
+void Execution::on_upload_done(const TransferJob& job) {
+  if (job.kind == JobKind::ext_output_upload) return;  // data now at DC for the user
+
+  const dag::EdgeId e = job.edge;
+  const dag::Edge& edge = wf_.edge(e);
+  edge_at_dc_[e] = now_;
+  const dag::TaskId consumer = edge.dst;
+  TaskState& ts = tasks_[consumer];
+  CLOUDWF_ASSERT(ts.dc_in_pending > 0);
+  if (--ts.dc_in_pending == 0) records_[consumer].inputs_at_dc = now_;
+
+  const VmId cvm = vm_of_[consumer];
+  VmState& consumer_vm = vms_[cvm];
+  if (consumer_vm.boot == BootState::up && !download_enqueued_[e]) {
+    download_enqueued_[e] = true;
+    enqueue_job({JobKind::edge_download, cvm, e, consumer, edge.bytes});
+  } else if (consumer_vm.boot == BootState::unrequested) {
+    const auto first = plans_[cvm].tasks.front();
+    if (tasks_[first].dc_in_pending == 0) request_boot(cvm);
+  }
+}
+
+void Execution::on_download_done(const TransferJob& job) {
+  const dag::TaskId task = job.task;
+  TaskState& ts = tasks_[task];
+  CLOUDWF_ASSERT(ts.remote_in_pending > 0);
+  --ts.remote_in_pending;
+  const dag::TaskId cause =
+      job.kind == JobKind::edge_download ? wf_.edge(job.edge).src : dag::invalid_task;
+  gate_update(task, now_, cause);
+  try_start_tasks(job.vm);
+}
+
+void Execution::try_start_tasks(VmId vm) {
+  VmState& state = vms_[vm];
+  if (state.boot != BootState::up) return;
+  const auto& plan = plans_[vm].tasks;
+  while (state.next_start_idx < plan.size()) {
+    const dag::TaskId t = plan[state.next_start_idx];
+    TaskState& ts = tasks_[t];
+    if (ts.finished || (ts.started && vm_of_[t] != vm)) {
+      // Migration leftover: the task moved away (or already completed
+      // elsewhere); skip its old slot.
+      ++state.next_start_idx;
+      continue;
+    }
+    if (state.free_procs == 0 || ts.started || ts.remote_in_pending > 0 ||
+        ts.local_in_pending > 0)
+      return;
+
+    ts.started = true;
+    --state.free_procs;
+    ++state.next_start_idx;
+    gate_update(t, state.boot_done, dag::invalid_task);
+    const Seconds duration = weights_[t] / vm_speed(vm);
+    records_[t].start = now_;
+    records_[t].finish = now_ + duration;
+    records_[t].bound_by = ts.gate_task;
+    state.busy += duration;
+    push_event(now_ + duration, Event::Kind::task_done, vm, t, ts.epoch);
+
+    // Online policy: arm a timeout when the actual draw exceeds the
+    // tolerated compute time on this host (the engine exploits its knowledge
+    // of the realization only to skip timeouts that would never fire).
+    if (policy_ != nullptr) {
+      const Seconds tolerated = (wf_.task(t).mean_weight +
+                                 policy_->timeout_sigmas * wf_.task(t).weight_stddev) /
+                                vm_speed(vm);
+      if (duration > tolerated && records_[t].restarts < policy_->max_restarts)
+        push_event(now_ + tolerated, Event::Kind::timeout, vm, t, ts.epoch);
+    }
+
+    // Gate the next task in list order on our start (relevant only for
+    // multi-processor VMs, where starts must stay in list order).
+    if (state.next_start_idx < plan.size()) gate_update(plan[state.next_start_idx], now_, t);
+  }
+}
+
+void Execution::on_task_done(VmId vm, dag::TaskId task) {
+  VmState& state = vms_[vm];
+  TaskState& ts = tasks_[task];
+  ts.finished = true;
+  ++tasks_finished_;
+  ++state.tasks_done;
+  ++state.free_procs;
+  state.end = std::max(state.end, now_);
+  
+
+  for (dag::EdgeId e : wf_.out_edges(task)) {
+    const dag::Edge& edge = wf_.edge(e);
+    if (edge_needs_transfer_[e]) {
+      enqueue_job({JobKind::edge_upload, vm, e, task, edge.bytes});
+    } else {
+      TaskState& consumer = tasks_[edge.dst];
+      CLOUDWF_ASSERT(consumer.local_in_pending > 0);
+      --consumer.local_in_pending;
+      gate_update(edge.dst, now_, task);
+    }
+  }
+  if (wf_.external_output_of(task) > 0)
+    enqueue_job({JobKind::ext_output_upload, vm, 0, task, wf_.external_output_of(task)});
+
+  // The freed processor may unblock the next task in list order.
+  const auto& plan = plans_[vm].tasks;
+  if (state.next_start_idx < plan.size()) gate_update(plan[state.next_start_idx], now_, task);
+  try_start_tasks(vm);
+}
+
+Dollars Execution::committed_vm_cost() const {
+  // Billed time so far plus setups of all booked VMs (the online policy's
+  // spend guard; datacenter charges are not included — they are small and
+  // budget reservations already cover them).
+  Dollars committed = 0;
+  for (VmId v = 0; v < vms_.size(); ++v) {
+    const VmState& state = vms_[v];
+    if (state.boot == BootState::unrequested) continue;
+    const platform::VmCategory& category = vm_category(v);
+    committed += category.setup_cost;
+    if (state.boot == BootState::up)
+      committed += (std::max(now_, state.boot_done) - state.boot_done) *
+                   category.price_per_second;
+  }
+  return committed;
+}
+
+void Execution::on_timeout(VmId vm, dag::TaskId task) {
+  const TaskState& ts = tasks_[task];
+  if (ts.finished || !ts.started || vm_of_[task] != vm) return;  // raced with completion
+  CLOUDWF_ASSERT(policy_ != nullptr);
+
+  // Policy checks: a meaningfully faster category must exist...
+  const platform::CategoryId fastest = platform_.fastest_category();
+  const platform::VmCategory& target = platform_.category(fastest);
+  if (target.speed < policy_->min_speedup * vm_speed(vm)) return;
+  // ... and the projected spend must stay under the cap.  Projection: spend
+  // so far + conservative compute of the restarted task + its input re-stage.
+  Bytes restage = wf_.external_input_of(task);
+  for (dag::EdgeId e : wf_.in_edges(task)) restage += wf_.edge(e).bytes;
+  const Seconds projected_time = wf_.task(task).conservative_weight() / target.speed +
+                                 restage / platform_.bandwidth();
+  if (committed_vm_cost() + target.setup_cost + projected_time * target.price_per_second >
+      policy_->budget_cap)
+    return;
+
+  migrate(vm, task);
+}
+
+void Execution::migrate(VmId from, dag::TaskId task) {
+  TaskState& ts = tasks_[task];
+  VmState& old_state = vms_[from];
+
+  // Interrupt: free the processor, drop the pending task_done event by
+  // bumping the epoch; the work done so far is lost.
+  ++ts.epoch;
+  ts.started = false;
+  ++old_state.free_procs;
+  old_state.end = std::max(old_state.end, now_);
+  // The busy accounting speculatively added the full duration at start;
+  // replace it with the actually spent slice.
+  old_state.busy -= records_[task].finish - records_[task].start;
+  old_state.busy += now_ - records_[task].start;
+  ++records_[task].restarts;
+  ++migrations_;
+
+  // Provision the rescue VM (fastest category, this task only).
+  const platform::CategoryId fastest = platform_.fastest_category();
+  const VmId rescue = static_cast<VmId>(plans_.size());
+  plans_.push_back(VmPlan{fastest, {task}});
+  vms_.emplace_back();
+  vms_.back().free_procs = platform_.category(fastest).processors;
+  vm_of_[task] = rescue;
+  records_[task].vm = rescue;
+
+  // Re-stage the inputs: data already at the datacenter is re-downloaded;
+  // data that had been local to the old VM must be uploaded first.
+  ts.remote_in_pending = 0;
+  ts.local_in_pending = 0;
+  ts.dc_in_pending = 0;
+  ts.gate_time = now_;
+  ts.gate_task = dag::invalid_task;
+  if (wf_.external_input_of(task) > 0) ++ts.remote_in_pending;
+  for (dag::EdgeId e : wf_.in_edges(task)) {
+    ++ts.remote_in_pending;
+    if (edge_at_dc_[e] >= 0) {
+      download_enqueued_[e] = false;  // the boot scan re-enqueues it
+    } else {
+      // Was local to the old VM: ship it through the datacenter now.
+      CLOUDWF_ASSERT(!edge_needs_transfer_[e]);
+      edge_needs_transfer_[e] = true;
+      ++ts.dc_in_pending;
+      enqueue_job({JobKind::edge_upload, from, e, wf_.edge(e).src, wf_.edge(e).bytes});
+    }
+  }
+
+  // Out-edges whose consumer sat on the old VM become cross-VM transfers.
+  for (dag::EdgeId e : wf_.out_edges(task)) {
+    const dag::TaskId consumer = wf_.edge(e).dst;
+    if (edge_needs_transfer_[e] || vm_of_[consumer] == rescue) continue;
+    CLOUDWF_ASSERT(vm_of_[consumer] == from);
+    edge_needs_transfer_[e] = true;
+    TaskState& cs = tasks_[consumer];
+    CLOUDWF_ASSERT(cs.local_in_pending > 0);
+    --cs.local_in_pending;
+    ++cs.remote_in_pending;
+    ++cs.dc_in_pending;
+  }
+
+  request_boot(rescue);
+  // Other tasks on the old VM may have been waiting for the processor.
+  try_start_tasks(from);
+}
+
+void Execution::main_loop() {
+  while (tasks_finished_ < wf_.task_count() || fluid_.active_count() > 0) {
+    const Seconds flow_time = fluid_.next_completion();
+    const Seconds event_time = events_.empty() ? infinity : events_.top().time;
+    if (flow_time == infinity && event_time == infinity) {
+      if (tasks_finished_ < wf_.task_count()) report_deadlock();
+      break;
+    }
+    if (flow_time <= event_time) {
+      now_ = flow_time;
+      for (FlowId flow : fluid_.advance(now_)) on_flow_complete(flow);
+    } else {
+      const Event event = events_.top();
+      events_.pop();
+      now_ = event.time;
+      // Keep the fluid clock in sync so rates stay correct.
+      for (FlowId flow : fluid_.advance(now_)) on_flow_complete(flow);
+      switch (event.kind) {
+        case Event::Kind::boot_done: on_boot_done(event.vm); break;
+        case Event::Kind::task_done:
+          if (event.epoch == tasks_[event.task].epoch) on_task_done(event.vm, event.task);
+          break;
+        case Event::Kind::timeout:
+          if (event.epoch == tasks_[event.task].epoch) on_timeout(event.vm, event.task);
+          break;
+      }
+    }
+  }
+}
+
+void Execution::report_deadlock() const {
+  std::ostringstream os;
+  os << "Simulator: schedule deadlocked in workflow '" << wf_.name() << "'; stuck tasks:";
+  for (dag::TaskId t = 0; t < wf_.task_count(); ++t) {
+    const TaskState& ts = tasks_[t];
+    if (ts.finished) continue;
+    os << ' ' << wf_.task(t).name << "(remote=" << ts.remote_in_pending
+       << ",local=" << ts.local_in_pending << ",dc=" << ts.dc_in_pending << ')';
+  }
+  throw ValidationError(os.str());
+}
+
+SimResult Execution::finalize() const {
+  SimResult result;
+  result.tasks = records_;
+  result.vms.resize(vms_.size());
+  result.migrations = migrations_;
+
+  Seconds start_first = infinity;
+  Seconds end_last = 0;
+  Bytes dc_footprint = wf_.external_input_bytes() + wf_.external_output_bytes();
+  for (dag::EdgeId e = 0; e < wf_.edge_count(); ++e)
+    if (edge_needs_transfer_[e]) dc_footprint += wf_.edge(e).bytes;
+
+  for (VmId v = 0; v < vms_.size(); ++v) {
+    const VmState& state = vms_[v];
+    VmRecord& record = result.vms[v];
+    record.category = plans_[v].category;
+    record.task_count = state.tasks_done;
+    // Every *booked* VM bills, including one abandoned by a migration.
+    if (state.boot == BootState::unrequested) continue;
+    record.boot_request = state.boot_request;
+    record.boot_done = state.boot_done;
+    record.end = std::max(state.end, state.boot_done);
+    record.busy = state.busy;
+    ++result.used_vms;
+    start_first = std::min(start_first, state.boot_request);
+    end_last = std::max(end_last, record.end);
+    const platform::VmCategory& category = platform_.category(record.category);
+    result.cost.vm_time += platform::vm_cost(category, state.boot_done, record.end,
+                                             platform_.billing_quantum()) -
+                           category.setup_cost;
+    result.cost.vm_setup += category.setup_cost;
+  }
+  CLOUDWF_ASSERT(result.used_vms > 0);
+
+  result.start_first = start_first;
+  result.end_last = end_last;
+  result.makespan = end_last - start_first;
+
+  const platform::CostBreakdown dc =
+      platform::datacenter_cost(platform_, wf_.external_input_bytes(),
+                                wf_.external_output_bytes(), start_first, end_last, dc_footprint);
+  result.cost.dc_time = dc.dc_time;
+  result.cost.dc_transfer = dc.dc_transfer;
+
+  result.transfers.count = transfers_done_;
+  result.transfers.bytes = transfer_bytes_;
+  result.transfers.peak_concurrent = fluid_.peak_active();
+  return result;
+}
+
+SimResult Execution::run() {
+  init();
+  main_loop();
+  return finalize();
+}
+
+}  // namespace
+
+Simulator::Simulator(const dag::Workflow& wf, const platform::Platform& platform)
+    : wf_(wf), platform_(platform) {
+  require(wf.frozen(), "Simulator: workflow must be frozen");
+}
+
+SimResult Simulator::run(const Schedule& schedule, const dag::WeightRealization& weights) const {
+  Execution execution(wf_, platform_, schedule, weights, nullptr);
+  return execution.run();
+}
+
+SimResult Simulator::run_online(const Schedule& schedule, const dag::WeightRealization& weights,
+                                const OnlinePolicy& policy) const {
+  require(policy.timeout_sigmas >= 0, "run_online: negative timeout_sigmas");
+  require(policy.min_speedup >= 1.0, "run_online: min_speedup must be >= 1");
+  Execution execution(wf_, platform_, schedule, weights, &policy);
+  return execution.run();
+}
+
+SimResult Simulator::run_conservative(const Schedule& schedule) const {
+  return run(schedule, dag::conservative_weights(wf_));
+}
+
+SimResult Simulator::run_mean(const Schedule& schedule) const {
+  return run(schedule, dag::mean_weights(wf_));
+}
+
+std::vector<dag::TaskId> schedule_critical_path(const SimResult& result) {
+  require(!result.tasks.empty(), "schedule_critical_path: empty result");
+  dag::TaskId last = 0;
+  for (dag::TaskId t = 0; t < result.tasks.size(); ++t)
+    if (result.tasks[t].finish > result.tasks[last].finish) last = t;
+
+  std::vector<dag::TaskId> path;
+  dag::TaskId current = last;
+  while (current != dag::invalid_task) {
+    path.push_back(current);
+    // Defensive cap: bound_by links cannot cycle (they point to strictly
+    // earlier events), but guard against record corruption anyway.
+    require(path.size() <= result.tasks.size(), "schedule_critical_path: bound_by cycle");
+    current = result.tasks[current].bound_by;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace cloudwf::sim

@@ -1,0 +1,89 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/json.hpp"
+
+namespace cloudwf::sim {
+
+void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"task", "vm", "start", "finish", "duration", "inputs_at_dc", "bound_by",
+              "restarts"});
+  for (dag::TaskId t = 0; t < result.tasks.size(); ++t) {
+    const TaskRecord& record = result.tasks[t];
+    csv.field(wf.task(t).name)
+        .field(static_cast<std::size_t>(record.vm))
+        .field(record.start)
+        .field(record.finish)
+        .field(record.finish - record.start)
+        .field(record.inputs_at_dc)
+        .field(record.bound_by == dag::invalid_task ? std::string{"-"}
+                                                    : wf.task(record.bound_by).name)
+        .field(record.restarts);
+    csv.end_row();
+  }
+}
+
+void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"vm", "category", "boot_request", "boot_done", "end", "busy", "tasks",
+              "utilization"});
+  for (VmId v = 0; v < result.vms.size(); ++v) {
+    const VmRecord& record = result.vms[v];
+    if (record.task_count == 0) continue;
+    const Seconds billed = record.end - record.boot_done;
+    csv.field(static_cast<std::size_t>(v))
+        .field(static_cast<std::size_t>(record.category))
+        .field(record.boot_request)
+        .field(record.boot_done)
+        .field(record.end)
+        .field(record.busy)
+        .field(record.task_count)
+        .field(billed > 0 ? record.busy / billed : 0.0);
+    csv.end_row();
+  }
+}
+
+std::string result_summary_json(const SimResult& result) {
+  Json::Object root;
+  root["makespan"] = result.makespan;
+  root["start_first"] = result.start_first;
+  root["end_last"] = result.end_last;
+  Json::Object cost;
+  cost["vm_time"] = result.cost.vm_time;
+  cost["vm_setup"] = result.cost.vm_setup;
+  cost["dc_time"] = result.cost.dc_time;
+  cost["dc_transfer"] = result.cost.dc_transfer;
+  cost["total"] = result.cost.total();
+  root["cost"] = Json(std::move(cost));
+  root["used_vms"] = result.used_vms;
+  root["migrations"] = result.migrations;
+  Json::Object transfers;
+  transfers["count"] = result.transfers.count;
+  transfers["bytes"] = result.transfers.bytes;
+  transfers["peak_concurrent"] = result.transfers.peak_concurrent;
+  root["transfers"] = Json(std::move(transfers));
+  return Json(std::move(root)).dump(2);
+}
+
+std::string result_summary_text(const SimResult& result) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "makespan      : " << result.makespan << " s\n"
+     << "total cost    : $" << std::setprecision(4) << result.cost.total() << '\n'
+     << std::setprecision(4)
+     << "  vm time     : $" << result.cost.vm_time << '\n'
+     << "  vm setup    : $" << result.cost.vm_setup << '\n'
+     << "  dc time     : $" << result.cost.dc_time << '\n'
+     << "  dc transfer : $" << result.cost.dc_transfer << '\n'
+     << "used VMs      : " << result.used_vms << '\n'
+     << "transfers     : " << result.transfers.count << " ("
+     << std::setprecision(1) << result.transfers.bytes / 1e6 << " MB, peak "
+     << result.transfers.peak_concurrent << " concurrent)\n";
+  return os.str();
+}
+
+}  // namespace cloudwf::sim

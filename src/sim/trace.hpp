@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Human/machine-readable export of simulation results.
+
+#include <ostream>
+#include <string>
+
+#include "dag/workflow.hpp"
+#include "sim/result.hpp"
+
+namespace cloudwf::sim {
+
+/// Writes one CSV row per task: name, vm, start, finish, duration, bound_by.
+void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std::ostream& out);
+
+/// Writes one CSV row per used VM: id, category, boot_request, boot_done,
+/// end, busy, task_count, utilization.
+void write_vm_trace_csv(const SimResult& result, std::ostream& out);
+
+/// JSON summary of the run (makespan, cost breakdown, VM/transfer stats).
+[[nodiscard]] std::string result_summary_json(const SimResult& result);
+
+/// Pretty multi-line summary for terminal output (examples/quickstart).
+[[nodiscard]] std::string result_summary_text(const SimResult& result);
+
+}  // namespace cloudwf::sim

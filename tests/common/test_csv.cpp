@@ -1,0 +1,102 @@
+/// \file test_csv.cpp
+/// \brief Unit tests for CSV writing (common/csv).
+
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cloudwf {
+namespace {
+
+TEST(Csv, BasicRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b"});
+  csv.field("x").field(1.5);
+  csv.end_row();
+  EXPECT_EQ(os.str(), "a,b\nx,1.5\n");
+}
+
+TEST(Csv, EscapesSeparatorsQuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field("plain").field("with,comma").field("with\"quote").field("with\nnewline");
+  csv.end_row();
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, IntegerFields) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(static_cast<long long>(-7)).field(std::size_t{42}).field(3);
+  csv.end_row();
+  EXPECT_EQ(os.str(), "-7,42,3\n");
+}
+
+TEST(Csv, DoubleRoundTrips) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(0.1).field(1e-9).field(12345678.25);
+  csv.end_row();
+  EXPECT_EQ(os.str(), "0.1,1e-09,12345678.25\n");
+}
+
+TEST(Csv, NonFiniteValues) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(std::numeric_limits<double>::quiet_NaN())
+      .field(std::numeric_limits<double>::infinity());
+  csv.end_row();
+  EXPECT_EQ(os.str(), "nan,inf\n");
+}
+
+TEST(Csv, HeaderAfterRowsRejected) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field("x");
+  csv.end_row();
+  EXPECT_THROW(csv.header({"a"}), InvalidArgument);
+}
+
+TEST(Csv, FieldCountMismatchRejected) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b"});
+  csv.field("only one");
+  EXPECT_THROW(csv.end_row(), InvalidArgument);
+}
+
+TEST(Csv, EmptyRowRejected) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  EXPECT_THROW(csv.end_row(), InvalidArgument);
+}
+
+TEST(Csv, CustomSeparator) {
+  std::ostringstream os;
+  CsvWriter csv(os, ';');
+  csv.field("a").field("b;c");
+  csv.end_row();
+  EXPECT_EQ(os.str(), "a;\"b;c\"\n");
+}
+
+TEST(Csv, RowsWrittenCounts) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a"});
+  EXPECT_EQ(csv.rows_written(), 1u);
+  csv.field("x");
+  csv.end_row();
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvFile, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvFile("/nonexistent-dir/file.csv"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cloudwf

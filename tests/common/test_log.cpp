@@ -1,0 +1,55 @@
+/// \file test_log.cpp
+/// \brief Unit tests for leveled logging (common/log).
+
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_threshold(); }
+  void TearDown() override { set_log_threshold(previous_); }
+  LogLevel previous_{};
+};
+
+TEST_F(LogTest, ThresholdIsProgrammable) {
+  set_log_threshold(LogLevel::debug);
+  EXPECT_EQ(log_threshold(), LogLevel::debug);
+  set_log_threshold(LogLevel::error);
+  EXPECT_EQ(log_threshold(), LogLevel::error);
+}
+
+TEST_F(LogTest, MessagesBelowThresholdAreSuppressed) {
+  set_log_threshold(LogLevel::off);
+  ::testing::internal::CaptureStderr();
+  log_error("must not appear");
+  log_warn("nor this");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, MessagesAtOrAboveThresholdAreEmitted) {
+  set_log_threshold(LogLevel::info);
+  ::testing::internal::CaptureStderr();
+  log_debug("hidden");
+  log_info("shown ", 42);
+  log_error("also shown");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("hidden"), std::string::npos);
+  EXPECT_NE(captured.find("shown 42"), std::string::npos);
+  EXPECT_NE(captured.find("also shown"), std::string::npos);
+  EXPECT_NE(captured.find("[cloudwf INFO]"), std::string::npos);
+  EXPECT_NE(captured.find("[cloudwf ERROR]"), std::string::npos);
+}
+
+TEST_F(LogTest, FormattingConcatenatesArguments) {
+  set_log_threshold(LogLevel::debug);
+  ::testing::internal::CaptureStderr();
+  log_debug("x=", 1.5, " y=", "z");
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("x=1.5 y=z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudwf

@@ -1,0 +1,155 @@
+/// \file test_rng.cpp
+/// \brief Unit tests for the deterministic RNG (common/rng).
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cloudwf {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(99);
+  double sum = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.below(0), InvalidArgument);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(17);
+  constexpr int n = 200000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(19);
+  constexpr int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, GaussianRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.gaussian(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, TruncatedGaussianRespectsFloor) {
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i)
+    EXPECT_GE(rng.truncated_gaussian(100.0, 100.0, 1.0), 1.0);
+}
+
+TEST(Rng, TruncatedGaussianDegenerateClampsToFloor) {
+  Rng rng(29);
+  // With stddev 0 and mean == floor the draw is always exactly the mean.
+  EXPECT_DOUBLE_EQ(rng.truncated_gaussian(5.0, 0.0, 5.0), 5.0);
+}
+
+TEST(Rng, TruncatedGaussianRejectsMeanBelowFloor) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.truncated_gaussian(0.0, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  const Rng parent(31);
+  Rng a = parent.fork(5);
+  Rng b = parent.fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkIndependentOfDrawPosition) {
+  Rng parent1(31);
+  Rng parent2(31);
+  (void)parent2();  // advance one stream
+  Rng a = parent1.fork(9);
+  Rng b = parent2.fork(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForksWithDifferentTagsDiffer) {
+  const Rng parent(37);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cloudwf

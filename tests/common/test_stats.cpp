@@ -1,0 +1,127 @@
+/// \file test_stats.cpp
+/// \brief Unit tests for streaming/batch statistics (common/stats).
+
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cloudwf {
+namespace {
+
+TEST(Accumulator, EmptyThrows) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_THROW((void)acc.mean(), InvalidArgument);
+  EXPECT_THROW((void)acc.min(), InvalidArgument);
+  EXPECT_THROW((void)acc.max(), InvalidArgument);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all;
+  Accumulator left;
+  Accumulator right;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 7.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  const Accumulator empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 1.5);
+
+  Accumulator target;
+  target.merge(acc);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(Summary, MedianOddAndEven) {
+  Summary odd({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+  Summary even({4.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  const Summary s({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+}
+
+TEST(Summary, QuantileValidatesRange) {
+  const Summary s({1.0});
+  EXPECT_THROW((void)s.quantile(-0.1), InvalidArgument);
+  EXPECT_THROW((void)s.quantile(1.1), InvalidArgument);
+}
+
+TEST(Summary, AddInvalidatesCache) {
+  Summary s({5.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(Summary, MeanAndStddevMatchAccumulator) {
+  Summary s;
+  Accumulator acc;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    s.add(x);
+    acc.add(x);
+  }
+  EXPECT_NEAR(s.mean(), acc.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev(), acc.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), acc.min());
+  EXPECT_DOUBLE_EQ(s.max(), acc.max());
+}
+
+TEST(Summary, EmptyThrows) {
+  const Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), InvalidArgument);
+  EXPECT_THROW((void)s.median(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cloudwf

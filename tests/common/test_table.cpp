@@ -1,0 +1,67 @@
+/// \file test_table.cpp
+/// \brief Unit tests for ASCII table rendering (common/table).
+
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cloudwf {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table("Title");
+  table.columns({"name", "value"});
+  table.row({"a", "1"});
+  table.row({"longer", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowBeforeColumnsRejected) {
+  TablePrinter table;
+  EXPECT_THROW(table.row({"x"}), InvalidArgument);
+}
+
+TEST(Table, CellCountMismatchRejected) {
+  TablePrinter table;
+  table.columns({"a", "b"});
+  EXPECT_THROW(table.row({"only"}), InvalidArgument);
+}
+
+TEST(Table, ColumnsAfterRowsRejected) {
+  TablePrinter table;
+  table.columns({"a"});
+  table.row({"x"});
+  EXPECT_THROW(table.columns({"b"}), InvalidArgument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::num(std::numeric_limits<double>::quiet_NaN()), "n/a");
+  EXPECT_EQ(TablePrinter::num(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(Table, PmFormatsMeanAndStddev) {
+  EXPECT_EQ(TablePrinter::pm(2.87, 0.52), "2.87 +- 0.52");
+}
+
+TEST(Table, RowCountTracks) {
+  TablePrinter table;
+  table.columns({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row({"1"});
+  table.row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudwf

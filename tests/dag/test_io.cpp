@@ -1,0 +1,90 @@
+/// \file test_io.cpp
+/// \brief Unit tests for workflow serialization (dag/io).
+
+#include "dag/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "testing/helpers.hpp"
+
+namespace cloudwf::dag {
+namespace {
+
+TEST(DagIo, JsonRoundTripPreservesStructure) {
+  const Workflow wf = testing::diamond(0.5);
+  const Workflow back = from_json(to_json(wf));
+  EXPECT_EQ(back.name(), wf.name());
+  ASSERT_EQ(back.task_count(), wf.task_count());
+  ASSERT_EQ(back.edge_count(), wf.edge_count());
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    EXPECT_EQ(back.task(t).name, wf.task(t).name);
+    EXPECT_DOUBLE_EQ(back.task(t).mean_weight, wf.task(t).mean_weight);
+    EXPECT_DOUBLE_EQ(back.task(t).weight_stddev, wf.task(t).weight_stddev);
+    EXPECT_DOUBLE_EQ(back.external_input_of(t), wf.external_input_of(t));
+    EXPECT_DOUBLE_EQ(back.external_output_of(t), wf.external_output_of(t));
+  }
+  for (EdgeId e = 0; e < wf.edge_count(); ++e) {
+    EXPECT_EQ(back.edge(e).src, wf.edge(e).src);
+    EXPECT_EQ(back.edge(e).dst, wf.edge(e).dst);
+    EXPECT_DOUBLE_EQ(back.edge(e).bytes, wf.edge(e).bytes);
+  }
+}
+
+TEST(DagIo, RoundTripIsStable) {
+  const Workflow wf = testing::diamond(0.25);
+  const std::string once = to_json(wf);
+  const std::string twice = to_json(from_json(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(DagIo, ParsesMinimalDocument) {
+  const Workflow wf = from_json(R"({"tasks": [{"name": "solo", "mean": 5}]})");
+  EXPECT_EQ(wf.task_count(), 1u);
+  EXPECT_EQ(wf.name(), "workflow");
+  EXPECT_DOUBLE_EQ(wf.task(0).weight_stddev, 0.0);
+}
+
+TEST(DagIo, UnknownEdgeEndpointRejected) {
+  const std::string text = R"({
+    "tasks": [{"name": "a", "mean": 1}],
+    "edges": [{"src": "a", "dst": "ghost", "bytes": 0}]
+  })";
+  EXPECT_THROW((void)from_json(text), InvalidArgument);
+}
+
+TEST(DagIo, SaveAndLoadFile) {
+  const Workflow wf = testing::chain3();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cloudwf_io_test.json").string();
+  save_json(wf, path);
+  const Workflow back = load_json(path);
+  EXPECT_EQ(back.task_count(), 3u);
+  EXPECT_EQ(back.edge_count(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DagIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_json("/does/not/exist.json"), InvalidArgument);
+}
+
+TEST(DagIo, DotContainsNodesAndEdges) {
+  const Workflow wf = testing::diamond();
+  const std::string dot = to_dot(wf);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"A"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("MB"), std::string::npos);
+}
+
+TEST(DagIo, LoadedWorkflowIsFrozen) {
+  const Workflow wf = from_json(to_json(testing::diamond()));
+  EXPECT_TRUE(wf.frozen());
+  EXPECT_EQ(wf.topological_order().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cloudwf::dag

@@ -1,0 +1,135 @@
+/// \file test_stochastic.cpp
+/// \brief Unit tests for stochastic weight models (dag/stochastic).
+
+#include "dag/stochastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/helpers.hpp"
+
+namespace cloudwf::dag {
+namespace {
+
+TEST(Stochastic, MeanWeightsMatchTasks) {
+  const Workflow wf = testing::diamond(0.5);
+  const WeightRealization w = mean_weights(wf);
+  ASSERT_EQ(w.size(), 4u);
+  for (TaskId t = 0; t < wf.task_count(); ++t)
+    EXPECT_DOUBLE_EQ(w[t], wf.task(t).mean_weight);
+}
+
+TEST(Stochastic, ConservativeWeightsAddSigma) {
+  const Workflow wf = testing::diamond(0.5);
+  const WeightRealization w = conservative_weights(wf);
+  for (TaskId t = 0; t < wf.task_count(); ++t)
+    EXPECT_DOUBLE_EQ(w[t], 1.5 * wf.task(t).mean_weight);
+}
+
+TEST(Stochastic, SamplingIsDeterministicPerSeed) {
+  const Workflow wf = testing::diamond(0.5);
+  Rng rng1(42);
+  Rng rng2(42);
+  const WeightRealization a = sample_weights(wf, rng1);
+  const WeightRealization b = sample_weights(wf, rng2);
+  for (TaskId t = 0; t < wf.task_count(); ++t) EXPECT_DOUBLE_EQ(a[t], b[t]);
+}
+
+TEST(Stochastic, DifferentSeedsDiffer) {
+  const Workflow wf = testing::diamond(0.5);
+  Rng rng1(1);
+  Rng rng2(2);
+  const WeightRealization a = sample_weights(wf, rng1);
+  const WeightRealization b = sample_weights(wf, rng2);
+  bool any_different = false;
+  for (TaskId t = 0; t < wf.task_count(); ++t)
+    if (a[t] != b[t]) any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Stochastic, ZeroSigmaSamplesExactlyMean) {
+  const Workflow wf = testing::diamond(0.0);
+  Rng rng(3);
+  const WeightRealization w = sample_weights(wf, rng);
+  for (TaskId t = 0; t < wf.task_count(); ++t)
+    EXPECT_DOUBLE_EQ(w[t], wf.task(t).mean_weight);
+}
+
+TEST(Stochastic, SamplesStayAboveFloorEvenAtSigmaEqualsMu) {
+  const Workflow wf = testing::diamond(1.0);
+  Rng rng(4);
+  for (int rep = 0; rep < 2000; ++rep) {
+    const WeightRealization w = sample_weights(wf, rng);
+    for (TaskId t = 0; t < wf.task_count(); ++t)
+      EXPECT_GE(w[t], weight_floor_fraction * wf.task(t).mean_weight);
+  }
+}
+
+TEST(Stochastic, SampleMeanApproachesMu) {
+  const Workflow wf = testing::diamond(0.25);
+  Rng rng(5);
+  double sum = 0;
+  constexpr int reps = 20000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const WeightRealization w = sample_weights(wf, rng);
+    sum += w[0];
+  }
+  // Task A: mu=100, sigma=25; truncation bias is negligible at this ratio.
+  EXPECT_NEAR(sum / reps, 100.0, 1.0);
+}
+
+TEST(Stochastic, WithStddevRatioRebuildsWorkflow) {
+  const Workflow wf = testing::diamond(0.0);
+  const Workflow scaled = with_stddev_ratio(wf, 0.75);
+  EXPECT_TRUE(scaled.frozen());
+  EXPECT_EQ(scaled.task_count(), wf.task_count());
+  EXPECT_EQ(scaled.edge_count(), wf.edge_count());
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    EXPECT_DOUBLE_EQ(scaled.task(t).mean_weight, wf.task(t).mean_weight);
+    EXPECT_DOUBLE_EQ(scaled.task(t).weight_stddev, 0.75 * wf.task(t).mean_weight);
+  }
+  EXPECT_DOUBLE_EQ(scaled.external_input_bytes(), wf.external_input_bytes());
+  EXPECT_DOUBLE_EQ(scaled.external_output_bytes(), wf.external_output_bytes());
+}
+
+TEST(Stochastic, WithStddevRatioRejectsNegative) {
+  const Workflow wf = testing::diamond();
+  EXPECT_THROW((void)with_stddev_ratio(wf, -0.1), InvalidArgument);
+}
+
+
+TEST(Stochastic, WithScaledDataScalesEverySize) {
+  const Workflow wf = testing::diamond(0.5);
+  const Workflow scaled = with_scaled_data(wf, 4.0);
+  EXPECT_TRUE(scaled.frozen());
+  ASSERT_EQ(scaled.edge_count(), wf.edge_count());
+  for (EdgeId e = 0; e < wf.edge_count(); ++e)
+    EXPECT_DOUBLE_EQ(scaled.edge(e).bytes, 4.0 * wf.edge(e).bytes);
+  EXPECT_DOUBLE_EQ(scaled.external_input_bytes(), 4.0 * wf.external_input_bytes());
+  EXPECT_DOUBLE_EQ(scaled.external_output_bytes(), 4.0 * wf.external_output_bytes());
+  // Weights are untouched.
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    EXPECT_DOUBLE_EQ(scaled.task(t).mean_weight, wf.task(t).mean_weight);
+    EXPECT_DOUBLE_EQ(scaled.task(t).weight_stddev, wf.task(t).weight_stddev);
+  }
+}
+
+TEST(Stochastic, WithScaledDataRejectsNonPositive) {
+  const Workflow wf = testing::diamond();
+  EXPECT_THROW((void)with_scaled_data(wf, 0.0), InvalidArgument);
+  EXPECT_THROW((void)with_scaled_data(wf, -1.0), InvalidArgument);
+}
+
+TEST(Stochastic, RealizationBoundsChecked) {
+  const Workflow wf = testing::diamond();
+  const WeightRealization w = mean_weights(wf);
+  EXPECT_THROW((void)w[99], InvalidArgument);
+}
+
+TEST(Stochastic, RealizationRejectsNonPositive) {
+  EXPECT_THROW(WeightRealization({1.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(WeightRealization({-1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cloudwf::dag

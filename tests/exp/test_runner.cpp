@@ -1,0 +1,119 @@
+/// \file test_runner.cpp
+/// \brief Tests of the parallel experiment runner (exp/runner).
+
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "exp/campaign.hpp"
+#include "pegasus/generator.hpp"
+#include "platform/platform.hpp"
+
+namespace cloudwf::exp {
+namespace {
+
+std::vector<RunRequest> make_matrix(const dag::Workflow& wf) {
+  std::vector<RunRequest> requests;
+  for (const std::string algorithm : {"heft", "heft-budg", "cg"}) {
+    for (const double budget : {1.0, 2.0, 4.0}) {
+      RunRequest request;
+      request.wf = &wf;
+      request.algorithm = algorithm;
+      request.budget = budget;
+      request.config.repetitions = 4;
+      request.config.seed = 11;
+      request.tag = algorithm + "@" + std::to_string(budget);
+      requests.push_back(std::move(request));
+    }
+  }
+  return requests;
+}
+
+TEST(Runner, ParallelMatchesSerialBitForBit) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::cybershake, {20, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  const auto requests = make_matrix(wf);
+
+  const auto serial = run_serial(platform, requests);
+  ThreadPool pool(4);
+  const auto parallel = run_parallel(platform, requests, pool);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].makespan.mean(), parallel[i].makespan.mean()) << i;
+    EXPECT_DOUBLE_EQ(serial[i].cost.mean(), parallel[i].cost.mean()) << i;
+    EXPECT_EQ(serial[i].used_vms, parallel[i].used_vms) << i;
+    EXPECT_DOUBLE_EQ(serial[i].valid_fraction, parallel[i].valid_fraction) << i;
+  }
+}
+
+TEST(Runner, ResultsAreIndexAligned) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::ligo, {22, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  const auto requests = make_matrix(wf);
+  ThreadPool pool(3);
+  const auto results = run_parallel(platform, requests, pool);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    EXPECT_EQ(results[i].algorithm, requests[i].algorithm) << i;
+}
+
+TEST(Runner, RejectsMalformedRequests) {
+  const auto platform = platform::paper_platform();
+  std::vector<RunRequest> requests(1);  // null workflow
+  EXPECT_THROW((void)run_serial(platform, requests), InvalidArgument);
+}
+
+TEST(Runner, CsvContainsOneRowPerRequest) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {15, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  const auto requests = make_matrix(wf);
+  const auto results = run_serial(platform, requests);
+
+  std::ostringstream os;
+  write_results_csv(os, requests, results);
+  const std::string csv = os.str();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            requests.size() + 1);  // header + rows
+  EXPECT_NE(csv.find("makespan_p95"), std::string::npos);
+  EXPECT_NE(csv.find("heft-budg@"), std::string::npos);
+}
+
+TEST(Runner, CsvRejectsMismatchedSpans) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {15, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  const auto requests = make_matrix(wf);
+  auto results = run_serial(platform, requests);
+  results.pop_back();
+  std::ostringstream os;
+  EXPECT_THROW(write_results_csv(os, requests, results), InvalidArgument);
+}
+
+TEST(Runner, CampaignParallelMatchesSerial) {
+  CampaignConfig config;
+  config.type = pegasus::WorkflowType::montage;
+  config.tasks = 15;
+  config.instances = 2;
+  config.budget_points = 3;
+  config.repetitions = 3;
+  config.algorithms = {"heft", "heft-budg"};
+
+  config.threads = 1;
+  const CampaignResult serial = run_campaign(platform::paper_platform(), config);
+  config.threads = 4;
+  const CampaignResult parallel = run_campaign(platform::paper_platform(), config);
+
+  for (std::size_t a = 0; a < serial.cells.size(); ++a) {
+    for (std::size_t b = 0; b < serial.cells[a].size(); ++b) {
+      EXPECT_DOUBLE_EQ(serial.cells[a][b].makespan.mean(),
+                       parallel.cells[a][b].makespan.mean());
+      EXPECT_DOUBLE_EQ(serial.cells[a][b].cost.mean(), parallel.cells[a][b].cost.mean());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudwf::exp

@@ -1,0 +1,122 @@
+/// \file test_refinement.cpp
+/// \brief Tests of the refinement algorithms: HEFTBUDG+/+INV and CG+.
+
+#include <gtest/gtest.h>
+
+#include "exp/budget_levels.hpp"
+#include "pegasus/generator.hpp"
+#include "platform/platform.hpp"
+#include "sched/registry.hpp"
+#include "testing/helpers.hpp"
+
+namespace cloudwf::sched {
+namespace {
+
+struct Case {
+  pegasus::WorkflowType type;
+  std::size_t tasks;
+  std::uint64_t seed;
+};
+
+class RefinementTest : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    wf_ = pegasus::generate(GetParam().type, {GetParam().tasks, GetParam().seed, 0.5});
+    levels_ = exp::compute_budget_levels(wf_, platform_);
+  }
+
+  [[nodiscard]] SchedulerOutput run(const std::string& name, Dollars budget) const {
+    return make_scheduler(name)->schedule({wf_, platform_, budget});
+  }
+
+  platform::Platform platform_ = platform::paper_platform();
+  dag::Workflow wf_{"placeholder"};
+  exp::BudgetLevels levels_{};
+};
+
+TEST_P(RefinementTest, HeftBudgPlusNeverWorseThanHeftBudg) {
+  // Algorithm 5 only accepts strictly improving, budget-respecting moves.
+  for (const double frac : {1.2, 2.0, 4.0}) {
+    const Dollars budget = frac * levels_.min_cost;
+    const SchedulerOutput base = run("heft-budg", budget);
+    const SchedulerOutput plus = run("heft-budg-plus", budget);
+    EXPECT_LE(plus.predicted_makespan, base.predicted_makespan + 1e-6)
+        << "budget " << budget;
+    if (base.budget_feasible) EXPECT_TRUE(plus.budget_feasible) << "budget " << budget;
+  }
+}
+
+TEST_P(RefinementTest, HeftBudgPlusInvNeverWorseThanHeftBudg) {
+  const Dollars budget = 2.0 * levels_.min_cost;
+  const SchedulerOutput base = run("heft-budg", budget);
+  const SchedulerOutput inv = run("heft-budg-plus-inv", budget);
+  EXPECT_LE(inv.predicted_makespan, base.predicted_makespan + 1e-6);
+}
+
+TEST_P(RefinementTest, RefinedVariantsStayWithinBudget) {
+  for (const std::string name : {"heft-budg-plus", "heft-budg-plus-inv"}) {
+    const Dollars budget = 1.5 * levels_.min_cost;
+    const SchedulerOutput out = run(name, budget);
+    // The starting HEFTBUDG point is feasible at this budget, so refinement
+    // must keep it feasible.
+    EXPECT_LE(out.predicted_cost, budget + 1e-9) << name;
+  }
+}
+
+
+TEST_P(RefinementTest, MinMinBudgPlusNeverWorseThanMinMinBudg) {
+  // The extension the paper suggests for MIN-MINBUDG behaves like HEFTBUDG+:
+  // strictly improving, budget-respecting moves only.
+  for (const double frac : {1.2, 2.0}) {
+    const Dollars budget = frac * levels_.min_cost;
+    const SchedulerOutput base = run("minmin-budg", budget);
+    const SchedulerOutput plus = run("minmin-budg-plus", budget);
+    EXPECT_LE(plus.predicted_makespan, base.predicted_makespan + 1e-6) << "budget " << budget;
+    if (base.budget_feasible) EXPECT_TRUE(plus.budget_feasible) << "budget " << budget;
+  }
+}
+
+TEST_P(RefinementTest, CgPlusNeverWorseThanCg) {
+  for (const double frac : {1.5, 3.0}) {
+    const Dollars budget = frac * levels_.min_cost;
+    const SchedulerOutput cg = run("cg", budget);
+    const SchedulerOutput cg_plus = run("cg-plus", budget);
+    EXPECT_LE(cg_plus.predicted_makespan, cg.predicted_makespan + 1e-6) << "budget " << budget;
+  }
+}
+
+TEST_P(RefinementTest, CgPlusRespectsBudgetWhenCgDoes) {
+  const Dollars budget = 2.0 * levels_.min_cost;
+  const SchedulerOutput cg = run("cg", budget);
+  if (cg.budget_feasible) {
+    const SchedulerOutput cg_plus = run("cg-plus", budget);
+    EXPECT_TRUE(cg_plus.budget_feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workflows, RefinementTest,
+                         ::testing::Values(Case{pegasus::WorkflowType::montage, 21, 3},
+                                           Case{pegasus::WorkflowType::cybershake, 20, 4},
+                                           Case{pegasus::WorkflowType::ligo, 22, 5}),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return std::string(pegasus::to_string(info.param.type));
+                         });
+
+TEST(Refinement, PlusImprovesSomewhere) {
+  // The headline claim of Section V-C: the refined variant finds strictly
+  // better makespans for at least one mid-range budget on MONTAGE.
+  const auto platform = platform::paper_platform();
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {24, 7, 0.5});
+  const auto levels = exp::compute_budget_levels(wf, platform);
+  bool improved = false;
+  for (const double frac : {1.1, 1.3, 1.6, 2.0, 3.0}) {
+    const Dollars budget = frac * levels.min_cost;
+    const auto base = make_scheduler("heft-budg")->schedule({wf, platform, budget});
+    const auto plus = make_scheduler("heft-budg-plus")->schedule({wf, platform, budget});
+    if (plus.predicted_makespan < base.predicted_makespan - 1e-6) improved = true;
+  }
+  EXPECT_TRUE(improved);
+}
+
+}  // namespace
+}  // namespace cloudwf::sched

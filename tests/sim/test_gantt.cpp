@@ -1,0 +1,93 @@
+/// \file test_gantt.cpp
+/// \brief Unit tests for the SVG Gantt renderer (sim/gantt).
+
+#include "sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/xml.hpp"
+#include "sim/simulator.hpp"
+#include "testing/helpers.hpp"
+
+namespace cloudwf::sim {
+namespace {
+
+SimResult run_diamond(const dag::Workflow& wf, const platform::Platform& platform) {
+  Schedule schedule(wf.task_count());
+  const VmId a = schedule.add_vm(0);
+  const VmId b = schedule.add_vm(1);
+  std::size_t i = 0;
+  for (dag::TaskId t : wf.topological_order()) schedule.assign(t, i++ % 2 == 0 ? a : b);
+  return Simulator(wf, platform).run_mean(schedule);
+}
+
+TEST(Gantt, ProducesWellFormedSvg) {
+  const auto wf = testing::diamond();
+  const auto platform = testing::toy_platform();
+  const SimResult result = run_diamond(wf, platform);
+  const std::string svg = render_gantt_svg(wf, result);
+  // The renderer escapes everything, so the output parses as XML.
+  const XmlElement root = parse_xml(svg);
+  EXPECT_EQ(root.name(), "svg");
+}
+
+TEST(Gantt, ContainsOneBarPerTaskAndLanePerVm) {
+  const auto wf = testing::diamond();
+  const auto platform = testing::toy_platform();
+  const SimResult result = run_diamond(wf, platform);
+  const std::string svg = render_gantt_svg(wf, result);
+  // 4 task bars carry <title> tooltips.
+  std::size_t titles = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<title>", pos)) != std::string::npos; ++pos)
+    ++titles;
+  EXPECT_EQ(titles, wf.task_count());
+  EXPECT_NE(svg.find("vm0"), std::string::npos);
+  EXPECT_NE(svg.find("vm1"), std::string::npos);
+  EXPECT_NE(svg.find("makespan"), std::string::npos);
+}
+
+TEST(Gantt, EscapesTaskNames) {
+  dag::Workflow wf("escape<&>");
+  wf.add_task("a<b>&c", 100, 0);
+  wf.freeze();
+  Schedule schedule(1);
+  schedule.assign(0, schedule.add_vm(0));
+  const auto platform = testing::toy_platform();
+  const SimResult result = Simulator(wf, platform).run_mean(schedule);
+  const std::string svg = render_gantt_svg(wf, result);
+  EXPECT_NO_THROW((void)parse_xml(svg));
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;c"), std::string::npos);
+}
+
+TEST(Gantt, TitleOverrideAndOptionsValidated) {
+  const auto wf = testing::diamond();
+  const auto platform = testing::toy_platform();
+  const SimResult result = run_diamond(wf, platform);
+  GanttOptions options;
+  options.title = "Custom Title";
+  EXPECT_NE(render_gantt_svg(wf, result, options).find("Custom Title"), std::string::npos);
+
+  options.width = 50;
+  EXPECT_THROW((void)render_gantt_svg(wf, result, options), InvalidArgument);
+  options.width = 800;
+  options.lane_height = 4;
+  EXPECT_THROW((void)render_gantt_svg(wf, result, options), InvalidArgument);
+}
+
+TEST(Gantt, MarksRestartsInTooltips) {
+  dag::Workflow wf("tail");
+  wf.add_task("T", 100, 50);
+  wf.freeze();
+  Schedule schedule(1);
+  schedule.assign(0, schedule.add_vm(0));
+  const auto platform = testing::toy_platform();
+  const SimResult result =
+      Simulator(wf, platform).run_online(schedule, dag::WeightRealization({1000.0}), {});
+  ASSERT_EQ(result.migrations, 1u);
+  const std::string svg = render_gantt_svg(wf, result);
+  EXPECT_NE(svg.find("1 restart"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudwf::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file helpers.hpp
+/// \brief Shared fixtures for the cloudwf test suite.
+
+#include "common/units.hpp"
+#include "dag/workflow.hpp"
+#include "platform/platform.hpp"
+
+namespace cloudwf::testing {
+
+/// A diamond DAG:  A -> {B, C} -> D, with easy round numbers.
+///   weights: A=100, B=200, C=300, D=100 (stddev 0 unless \p stddev_ratio)
+///   edges: A->B 1e6, A->C 2e6, B->D 1e6, C->D 1e6 bytes
+///   external: A reads 4e6, D writes 2e6.
+inline dag::Workflow diamond(double stddev_ratio = 0.0) {
+  dag::Workflow wf("diamond");
+  const auto a = wf.add_task("A", 100, 100 * stddev_ratio);
+  const auto b = wf.add_task("B", 200, 200 * stddev_ratio);
+  const auto c = wf.add_task("C", 300, 300 * stddev_ratio);
+  const auto d = wf.add_task("D", 100, 100 * stddev_ratio);
+  wf.add_edge(a, b, 1e6);
+  wf.add_edge(a, c, 2e6);
+  wf.add_edge(b, d, 1e6);
+  wf.add_edge(c, d, 1e6);
+  wf.add_external_input(a, 4e6);
+  wf.add_external_output(d, 2e6);
+  wf.freeze();
+  return wf;
+}
+
+/// A chain A -> B -> C with unit-free numbers.
+inline dag::Workflow chain3() {
+  dag::Workflow wf("chain3");
+  const auto a = wf.add_task("A", 100, 0);
+  const auto b = wf.add_task("B", 200, 0);
+  const auto c = wf.add_task("C", 400, 0);
+  wf.add_edge(a, b, 1e6);
+  wf.add_edge(b, c, 2e6);
+  wf.freeze();
+  return wf;
+}
+
+/// Two independent tasks (a 2-task bag).
+inline dag::Workflow bag2() {
+  dag::Workflow wf("bag2");
+  wf.add_task("A", 100, 0);
+  wf.add_task("B", 100, 0);
+  wf.freeze();
+  return wf;
+}
+
+/// A tiny platform with clean numbers: two categories (speed 1 at $3600/h
+/// => $1/s, speed 2 at $7200/h => $2/s), 10 s boot, $0.5 setup, 1 MB/s
+/// links, free datacenter.  Makes hand computations exact.
+inline platform::Platform toy_platform(Seconds boot = 10.0) {
+  return platform::PlatformBuilder("toy")
+      .add_category({"slow", 1.0, 1.0, 0.5, 1})
+      .add_category({"fast", 2.0, 2.0, 0.5, 1})
+      .boot_delay(boot)
+      .bandwidth(1e6)
+      .build();
+}
+
+/// toy_platform with a single category (speed 1, $1/s).
+inline platform::Platform mono_platform(Seconds boot = 10.0) {
+  return platform::PlatformBuilder("mono")
+      .add_category({"only", 1.0, 1.0, 0.5, 1})
+      .boot_delay(boot)
+      .bandwidth(1e6)
+      .build();
+}
+
+}  // namespace cloudwf::testing

@@ -1,0 +1,355 @@
+/// \file cloudwf_cli.cpp
+/// \brief The `cloudwf` command-line tool: generate, inspect, convert,
+/// schedule, simulate and sweep workflows without writing C++.
+///
+/// Commands:
+///   generate  --type montage --tasks 90 --seed 1 --sigma 0.5 --out wf.json
+///   info      <wf.{json,dax}>
+///   convert   <in.{json,dax}> <out.{json,dax,dot}>
+///   schedule  <wf> --algorithm heft-budg --budget 3.0 [--gantt out.svg]
+///             [--trace-dir DIR]
+///   simulate  <wf> --algorithm heft-budg --budget 3.0 [--reps 25] [--seed 7]
+///             [--deadline D] [--online] [--timeout-sigmas 2]
+///   sweep     <wf> --algorithms minmin-budg,heft-budg,bdt,cg [--points 6]
+///             [--reps 10] [--threads N] [--csv raw.csv]
+///   campaign  --type montage [--tasks 90] [--instances 3] [--sigma 0.5]
+///             [--algorithms ...] [--points 6] [--reps 10] [--threads N]
+///
+/// Workflow files are recognized by extension: .json (cloudwf schema) or
+/// .dax/.xml (Pegasus DAX).  Commands run on the reconstructed Table II
+/// platform by default; --platform FILE.json loads a custom provider offer
+/// (see platform/io.hpp for the schema) and --contention FACTOR enables the
+/// finite-datacenter mode.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "cli_args.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dag/analysis.hpp"
+#include "dag/dax.hpp"
+#include "dag/io.hpp"
+#include "dag/stochastic.hpp"
+#include "exp/budget_levels.hpp"
+#include "exp/campaign.hpp"
+#include "exp/evaluate.hpp"
+#include "exp/runner.hpp"
+#include "pegasus/generator.hpp"
+#include "platform/io.hpp"
+#include "platform/platform.hpp"
+#include "sched/registry.hpp"
+#include "sim/gantt.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace cloudwf;
+
+constexpr const char* usage = R"(cloudwf — budget-aware workflow scheduling toolbox
+
+usage: cloudwf <command> [args]
+
+commands:
+  generate   synthesize a CYBERSHAKE/LIGO/MONTAGE instance
+  info       show structure and metrics of a workflow file
+  convert    convert between .json, .dax and .dot
+  schedule   compute a schedule and its deterministic prediction
+  simulate   execute a schedule against stochastic weights
+  sweep      compare algorithms across a budget sweep
+  campaign   multi-instance figure-style campaign for one family
+  help       print this message
+
+run `cloudwf <command> --help` conventions: see the header of tools/cloudwf_cli.cpp.
+)";
+
+std::string extension(const std::string& path) {
+  return std::filesystem::path(path).extension().string();
+}
+
+dag::Workflow load_workflow(const std::string& path, double sigma) {
+  const std::string ext = extension(path);
+  if (ext == ".json") return dag::load_json(path);
+  if (ext == ".dax" || ext == ".xml")
+    return dag::load_dax(path, {.reference_speed = 1.0, .stddev_ratio = sigma});
+  throw InvalidArgument("unrecognized workflow extension '" + ext + "' (use .json or .dax)");
+}
+
+void save_workflow(const dag::Workflow& wf, const std::string& path) {
+  const std::string ext = extension(path);
+  if (ext == ".json") {
+    dag::save_json(wf, path);
+  } else if (ext == ".dax" || ext == ".xml") {
+    dag::save_dax(wf, path);
+  } else if (ext == ".dot") {
+    std::ofstream out(path);
+    require(out.good(), "cannot open " + path);
+    out << dag::to_dot(wf);
+  } else {
+    throw InvalidArgument("unrecognized output extension '" + ext + "'");
+  }
+  std::cout << "wrote " << path << '\n';
+}
+
+platform::Platform make_platform(const cli::Args& args) {
+  if (args.has("platform")) return platform::load_json(args.get("platform", ""));
+  const double contention = args.get_double("contention", 0.0);
+  return contention > 0 ? platform::paper_platform_with_contention(contention)
+                        : platform::paper_platform();
+}
+
+int cmd_generate(const cli::Args& args) {
+  const pegasus::GeneratorConfig config{args.get_size("tasks", 90),
+                                        args.get_size("seed", 1),
+                                        args.get_double("sigma", 0.5)};
+  const dag::Workflow wf =
+      pegasus::generate(pegasus::parse_type(args.get("type", "montage")), config);
+  save_workflow(wf, args.get("out", std::string(pegasus::to_string(pegasus::parse_type(
+                                        args.get("type", "montage")))) +
+                                        ".json"));
+  return 0;
+}
+
+int cmd_info(const cli::Args& args) {
+  const dag::Workflow wf =
+      load_workflow(args.positional_at(0, "workflow file"), args.get_double("sigma", 0.5));
+  const platform::Platform cloud = make_platform(args);
+  const dag::RankParams params{cloud.mean_speed(), cloud.bandwidth(), true};
+  const dag::GraphMetrics metrics = dag::graph_metrics(wf, params);
+  const exp::BudgetLevels levels = exp::compute_budget_levels(wf, cloud);
+
+  TablePrinter table("workflow " + wf.name());
+  table.columns({"property", "value"});
+  table.row({"tasks", std::to_string(wf.task_count())});
+  table.row({"edges", std::to_string(wf.edge_count())});
+  table.row({"depth (levels)", std::to_string(metrics.depth)});
+  table.row({"width (max level)", std::to_string(metrics.width)});
+  table.row({"CCR", TablePrinter::num(metrics.ccr, 4)});
+  table.row({"parallelism", TablePrinter::num(metrics.parallelism, 2)});
+  table.row({"total work (instr)", TablePrinter::num(wf.total_mean_weight(), 0)});
+  table.row({"data in DAG (MB)", TablePrinter::num(wf.total_edge_bytes() / 1e6, 1)});
+  table.row({"external in/out (MB)",
+             TablePrinter::num(wf.external_input_bytes() / 1e6, 1) + " / " +
+                 TablePrinter::num(wf.external_output_bytes() / 1e6, 1)});
+  table.row({"cheapest execution ($)", TablePrinter::num(levels.min_cost, 4)});
+  table.row({"baseline-reaching budget ($)",
+             TablePrinter::num(levels.baseline_reaching, 4)});
+  table.row({"high budget ($)", TablePrinter::num(levels.high, 4)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_convert(const cli::Args& args) {
+  const dag::Workflow wf =
+      load_workflow(args.positional_at(0, "input file"), args.get_double("sigma", 0.5));
+  save_workflow(wf, args.positional_at(1, "output file"));
+  return 0;
+}
+
+int cmd_schedule(const cli::Args& args) {
+  const dag::Workflow wf =
+      load_workflow(args.positional_at(0, "workflow file"), args.get_double("sigma", 0.5));
+  const platform::Platform cloud = make_platform(args);
+  const std::string algorithm = args.get("algorithm", "heft-budg");
+  const exp::BudgetLevels levels = exp::compute_budget_levels(wf, cloud);
+  const Dollars budget = args.has("budget") ? args.get_double("budget", 0) : levels.medium;
+
+  const auto out = sched::make_scheduler(algorithm)->schedule({wf, cloud, budget});
+  std::cout << algorithm << " under $" << budget << ":\n"
+            << "  predicted makespan : " << out.predicted_makespan << " s\n"
+            << "  predicted cost     : $" << out.predicted_cost
+            << (out.budget_feasible ? " (within budget)" : " (OVER budget)") << "\n"
+            << "  VMs                : " << out.schedule.used_vm_count() << "\n";
+
+  const sim::Simulator simulator(wf, cloud);
+  const sim::SimResult prediction = simulator.run_conservative(out.schedule);
+  if (args.has("gantt")) {
+    std::ofstream svg(args.get("gantt", "schedule.svg"));
+    require(svg.good(), "cannot open gantt output file");
+    sim::write_gantt_svg(wf, prediction, svg);
+    std::cout << "wrote " << args.get("gantt", "schedule.svg") << '\n';
+  }
+  if (args.has("trace-dir")) {
+    const std::filesystem::path dir = args.get("trace-dir", ".");
+    std::filesystem::create_directories(dir);
+    std::ofstream tasks(dir / "tasks.csv");
+    sim::write_task_trace_csv(wf, prediction, tasks);
+    std::ofstream vms(dir / "vms.csv");
+    sim::write_vm_trace_csv(prediction, vms);
+    std::cout << "wrote " << (dir / "tasks.csv").string() << ", " << (dir / "vms.csv").string()
+              << '\n';
+  }
+  return 0;
+}
+
+int cmd_simulate(const cli::Args& args) {
+  const dag::Workflow wf =
+      load_workflow(args.positional_at(0, "workflow file"), args.get_double("sigma", 0.5));
+  const platform::Platform cloud = make_platform(args);
+  const std::string algorithm = args.get("algorithm", "heft-budg");
+  const exp::BudgetLevels levels = exp::compute_budget_levels(wf, cloud);
+  const Dollars budget = args.has("budget") ? args.get_double("budget", 0) : levels.medium;
+
+  const auto out = sched::make_scheduler(algorithm)->schedule({wf, cloud, budget});
+  const sim::Simulator simulator(wf, cloud);
+
+  if (args.has("online")) {
+    sim::OnlinePolicy policy;
+    policy.timeout_sigmas = args.get_double("timeout-sigmas", 2.0);
+    policy.budget_cap = args.has("budget-cap")
+                            ? args.get_double("budget-cap", 0)
+                            : std::numeric_limits<Dollars>::infinity();
+    Summary makespan;
+    Summary cost;
+    double migrations = 0;
+    const Rng base(args.get_size("seed", 7));
+    const std::size_t reps = args.get_size("reps", 25);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng stream = base.fork(rep);
+      const sim::SimResult r =
+          simulator.run_online(out.schedule, dag::sample_weights(wf, stream), policy);
+      makespan.add(r.makespan);
+      cost.add(r.total_cost());
+      migrations += static_cast<double>(r.migrations);
+    }
+    std::cout << "online (" << reps << " runs): makespan "
+              << TablePrinter::pm(makespan.mean(), makespan.stddev(), 1) << " s, cost $"
+              << TablePrinter::num(cost.mean(), 4) << ", "
+              << migrations / static_cast<double>(reps) << " migrations/run\n";
+    return 0;
+  }
+
+  exp::EvalConfig config;
+  config.repetitions = args.get_size("reps", 25);
+  config.seed = args.get_size("seed", 7);
+  config.deadline = args.get_double("deadline", 0);
+  const exp::EvalResult r = exp::evaluate_schedule(wf, cloud, out, algorithm, budget, config);
+
+  TablePrinter table(algorithm + " on " + wf.name() + " — " +
+                     std::to_string(config.repetitions) + " stochastic executions");
+  table.columns({"metric", "value"});
+  table.row({"budget ($)", TablePrinter::num(budget, 4)});
+  table.row({"predicted makespan (s)", TablePrinter::num(r.predicted_makespan, 1)});
+  table.row({"makespan (s)", TablePrinter::pm(r.makespan.mean(), r.makespan.stddev(), 1)});
+  table.row({"makespan p95 (s)", TablePrinter::num(r.makespan.quantile(0.95), 1)});
+  table.row({"cost ($)", TablePrinter::pm(r.cost.mean(), r.cost.stddev(), 4)});
+  table.row({"budget respected", TablePrinter::num(100 * r.valid_fraction, 1) + "%"});
+  if (config.deadline > 0) {
+    table.row({"deadline met", TablePrinter::num(100 * r.deadline_fraction, 1) + "%"});
+    table.row({"objective (Eq. 3) met", TablePrinter::num(100 * r.objective_fraction, 1) + "%"});
+  }
+  table.row({"VMs", std::to_string(r.used_vms)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const cli::Args& args) {
+  const dag::Workflow wf =
+      load_workflow(args.positional_at(0, "workflow file"), args.get_double("sigma", 0.5));
+  const platform::Platform cloud = make_platform(args);
+  const auto algorithms = args.get_list("algorithms", "minmin-budg,heft-budg,bdt,cg");
+  const std::size_t points = args.get_size("points", 6);
+  const std::size_t reps = args.get_size("reps", 10);
+
+  const exp::BudgetLevels levels = exp::compute_budget_levels(wf, cloud);
+  const auto budgets = exp::budget_sweep(levels, points);
+
+  // Build the request matrix and run it (parallel with --threads N).
+  std::vector<exp::RunRequest> requests;
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    for (const std::string& algorithm : algorithms) {
+      exp::RunRequest request;
+      request.wf = &wf;
+      request.algorithm = algorithm;
+      request.budget = budgets[b];
+      request.config.repetitions = reps;
+      request.config.seed = args.get_size("seed", 7);
+      request.tag = "b" + std::to_string(b);
+      requests.push_back(std::move(request));
+    }
+  }
+  std::vector<exp::EvalResult> results;
+  const std::size_t threads = args.get_size("threads", 1);
+  if (threads == 1) {
+    results = exp::run_serial(cloud, requests);
+  } else {
+    ThreadPool pool(threads);
+    results = exp::run_parallel(cloud, requests, pool);
+  }
+
+  TablePrinter table("budget sweep on " + wf.name() + " (makespan s | cost $ | %valid)");
+  std::vector<std::string> columns{"budget($)"};
+  for (const std::string& algorithm : algorithms) columns.push_back(algorithm);
+  table.columns(std::move(columns));
+  std::size_t index = 0;
+  for (const Dollars budget : budgets) {
+    std::vector<std::string> cells{TablePrinter::num(budget, 4)};
+    for (std::size_t a = 0; a < algorithms.size(); ++a, ++index) {
+      const exp::EvalResult& r = results[index];
+      cells.push_back(TablePrinter::num(r.makespan.mean(), 0) + " | " +
+                      TablePrinter::num(r.cost.mean(), 3) + " | " +
+                      TablePrinter::num(100 * r.valid_fraction, 0) + "%");
+    }
+    table.row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  if (args.has("csv")) {
+    std::ofstream out(args.get("csv", "sweep.csv"));
+    require(out.good(), "cannot open csv output file");
+    exp::write_results_csv(out, requests, results);
+    std::cout << "wrote " << args.get("csv", "sweep.csv")
+              << "  (plot with scripts/plot_results.py)\n";
+  }
+  return 0;
+}
+
+int cmd_campaign(const cli::Args& args) {
+  exp::CampaignConfig config;
+  config.type = pegasus::parse_type(args.get("type", "montage"));
+  config.tasks = args.get_size("tasks", 90);
+  config.instances = args.get_size("instances", 3);
+  config.sigma_ratio = args.get_double("sigma", 0.5);
+  config.budget_points = args.get_size("points", 6);
+  config.repetitions = args.get_size("reps", 10);
+  config.algorithms = args.get_list("algorithms", "minmin,heft,minmin-budg,heft-budg");
+  config.seed = args.get_size("seed", 42);
+  config.threads = args.get_size("threads", 1);
+  config.low_budget_factor = args.get_double("low-factor", 1.0);
+  config.apply_quick_mode();
+
+  const exp::CampaignResult result = exp::run_campaign(make_platform(args), config);
+  const std::string family(pegasus::to_string(config.type));
+  exp::print_campaign_table(std::cout, result, "makespan",
+                            family + " campaign — makespan (s)");
+  exp::print_campaign_table(std::cout, result, "cost", family + " campaign — spend ($)");
+  exp::print_campaign_table(std::cout, result, "vms", family + " campaign — #VMs");
+  exp::print_campaign_table(std::cout, result, "valid",
+                            family + " campaign — valid fraction");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const cli::Args args(argc, argv, {"online", "help"});
+  const std::string& command = args.command();
+  if (command.empty() || command == "help" || args.has("help")) {
+    std::cout << usage;
+    return 0;
+  }
+  if (command == "generate") return cmd_generate(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "convert") return cmd_convert(args);
+  if (command == "schedule") return cmd_schedule(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "campaign") return cmd_campaign(args);
+  std::cerr << "unknown command '" << command << "'\n\n" << usage;
+  return 2;
+} catch (const std::exception& error) {
+  std::cerr << "cloudwf: " << error.what() << '\n';
+  return 1;
+}
