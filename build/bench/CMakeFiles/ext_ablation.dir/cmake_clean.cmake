@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation.dir/ext_ablation.cpp.o"
+  "CMakeFiles/ext_ablation.dir/ext_ablation.cpp.o.d"
+  "ext_ablation"
+  "ext_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_billing_quantum.dir/ext_billing_quantum.cpp.o"
+  "CMakeFiles/ext_billing_quantum.dir/ext_billing_quantum.cpp.o.d"
+  "ext_billing_quantum"
+  "ext_billing_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_billing_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

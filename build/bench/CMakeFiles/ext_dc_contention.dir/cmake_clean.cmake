@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dc_contention.dir/ext_dc_contention.cpp.o"
+  "CMakeFiles/ext_dc_contention.dir/ext_dc_contention.cpp.o.d"
+  "ext_dc_contention"
+  "ext_dc_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dc_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

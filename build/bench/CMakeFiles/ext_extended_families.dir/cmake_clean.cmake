@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_extended_families.dir/ext_extended_families.cpp.o"
+  "CMakeFiles/ext_extended_families.dir/ext_extended_families.cpp.o.d"
+  "ext_extended_families"
+  "ext_extended_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_extended_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_online_rescheduling.dir/ext_online_rescheduling.cpp.o"
+  "CMakeFiles/ext_online_rescheduling.dir/ext_online_rescheduling.cpp.o.d"
+  "ext_online_rescheduling"
+  "ext_online_rescheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_online_rescheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sigma_impact.dir/ext_sigma_impact.cpp.o"
+  "CMakeFiles/ext_sigma_impact.dir/ext_sigma_impact.cpp.o.d"
+  "ext_sigma_impact"
+  "ext_sigma_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sigma_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_budget_sweep.dir/fig1_budget_sweep.cpp.o"
+  "CMakeFiles/fig1_budget_sweep.dir/fig1_budget_sweep.cpp.o.d"
+  "fig1_budget_sweep"
+  "fig1_budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

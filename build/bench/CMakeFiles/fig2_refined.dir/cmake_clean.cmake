@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_refined.dir/fig2_refined.cpp.o"
+  "CMakeFiles/fig2_refined.dir/fig2_refined.cpp.o.d"
+  "fig2_refined"
+  "fig2_refined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_refined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

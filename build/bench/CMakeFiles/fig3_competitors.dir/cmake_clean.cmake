@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_competitors.dir/fig3_competitors.cpp.o"
+  "CMakeFiles/fig3_competitors.dir/fig3_competitors.cpp.o.d"
+  "fig3_competitors"
+  "fig3_competitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_competitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_refined_competitors.dir/fig4_refined_competitors.cpp.o"
+  "CMakeFiles/fig4_refined_competitors.dir/fig4_refined_competitors.cpp.o.d"
+  "fig4_refined_competitors"
+  "fig4_refined_competitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_refined_competitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3a_cputime.dir/table3a_cputime.cpp.o"
+  "CMakeFiles/table3a_cputime.dir/table3a_cputime.cpp.o.d"
+  "table3a_cputime"
+  "table3a_cputime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3a_cputime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

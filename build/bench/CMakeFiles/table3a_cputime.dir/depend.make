@@ -1,0 +1,2 @@
+# Empty dependencies file for table3a_cputime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3b_scaling.dir/table3b_scaling.cpp.o"
+  "CMakeFiles/table3b_scaling.dir/table3b_scaling.cpp.o.d"
+  "table3b_scaling"
+  "table3b_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3b_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

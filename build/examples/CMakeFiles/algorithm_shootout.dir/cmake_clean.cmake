@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_shootout.dir/algorithm_shootout.cpp.o"
+  "CMakeFiles/algorithm_shootout.dir/algorithm_shootout.cpp.o.d"
+  "algorithm_shootout"
+  "algorithm_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tail_latency_clinic.cpp" "examples/CMakeFiles/tail_latency_clinic.dir/tail_latency_clinic.cpp.o" "gcc" "examples/CMakeFiles/tail_latency_clinic.dir/tail_latency_clinic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/cloudwf_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cloudwf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudwf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cloudwf_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/pegasus/CMakeFiles/cloudwf_pegasus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/cloudwf_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudwf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

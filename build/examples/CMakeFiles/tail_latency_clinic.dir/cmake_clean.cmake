@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_latency_clinic.dir/tail_latency_clinic.cpp.o"
+  "CMakeFiles/tail_latency_clinic.dir/tail_latency_clinic.cpp.o.d"
+  "tail_latency_clinic"
+  "tail_latency_clinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_latency_clinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

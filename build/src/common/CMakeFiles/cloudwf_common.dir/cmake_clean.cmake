@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_common.dir/csv.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cloudwf_common.dir/json.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/json.cpp.o.d"
+  "CMakeFiles/cloudwf_common.dir/log.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/log.cpp.o.d"
+  "CMakeFiles/cloudwf_common.dir/rng.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cloudwf_common.dir/stats.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cloudwf_common.dir/table.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/table.cpp.o.d"
+  "CMakeFiles/cloudwf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/cloudwf_common.dir/xml.cpp.o"
+  "CMakeFiles/cloudwf_common.dir/xml.cpp.o.d"
+  "libcloudwf_common.a"
+  "libcloudwf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudwf_common.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for cloudwf_common.
+# This may be replaced when dependencies are built.

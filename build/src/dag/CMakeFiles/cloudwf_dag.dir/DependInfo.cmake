@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/analysis.cpp" "src/dag/CMakeFiles/cloudwf_dag.dir/analysis.cpp.o" "gcc" "src/dag/CMakeFiles/cloudwf_dag.dir/analysis.cpp.o.d"
+  "/root/repo/src/dag/dax.cpp" "src/dag/CMakeFiles/cloudwf_dag.dir/dax.cpp.o" "gcc" "src/dag/CMakeFiles/cloudwf_dag.dir/dax.cpp.o.d"
+  "/root/repo/src/dag/io.cpp" "src/dag/CMakeFiles/cloudwf_dag.dir/io.cpp.o" "gcc" "src/dag/CMakeFiles/cloudwf_dag.dir/io.cpp.o.d"
+  "/root/repo/src/dag/stochastic.cpp" "src/dag/CMakeFiles/cloudwf_dag.dir/stochastic.cpp.o" "gcc" "src/dag/CMakeFiles/cloudwf_dag.dir/stochastic.cpp.o.d"
+  "/root/repo/src/dag/workflow.cpp" "src/dag/CMakeFiles/cloudwf_dag.dir/workflow.cpp.o" "gcc" "src/dag/CMakeFiles/cloudwf_dag.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudwf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_dag.dir/analysis.cpp.o"
+  "CMakeFiles/cloudwf_dag.dir/analysis.cpp.o.d"
+  "CMakeFiles/cloudwf_dag.dir/dax.cpp.o"
+  "CMakeFiles/cloudwf_dag.dir/dax.cpp.o.d"
+  "CMakeFiles/cloudwf_dag.dir/io.cpp.o"
+  "CMakeFiles/cloudwf_dag.dir/io.cpp.o.d"
+  "CMakeFiles/cloudwf_dag.dir/stochastic.cpp.o"
+  "CMakeFiles/cloudwf_dag.dir/stochastic.cpp.o.d"
+  "CMakeFiles/cloudwf_dag.dir/workflow.cpp.o"
+  "CMakeFiles/cloudwf_dag.dir/workflow.cpp.o.d"
+  "libcloudwf_dag.a"
+  "libcloudwf_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_exp.dir/budget_levels.cpp.o"
+  "CMakeFiles/cloudwf_exp.dir/budget_levels.cpp.o.d"
+  "CMakeFiles/cloudwf_exp.dir/campaign.cpp.o"
+  "CMakeFiles/cloudwf_exp.dir/campaign.cpp.o.d"
+  "CMakeFiles/cloudwf_exp.dir/evaluate.cpp.o"
+  "CMakeFiles/cloudwf_exp.dir/evaluate.cpp.o.d"
+  "CMakeFiles/cloudwf_exp.dir/runner.cpp.o"
+  "CMakeFiles/cloudwf_exp.dir/runner.cpp.o.d"
+  "libcloudwf_exp.a"
+  "libcloudwf_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pegasus/cybershake.cpp" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/cybershake.cpp.o" "gcc" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/cybershake.cpp.o.d"
+  "/root/repo/src/pegasus/epigenomics.cpp" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/epigenomics.cpp.o" "gcc" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/epigenomics.cpp.o.d"
+  "/root/repo/src/pegasus/generator.cpp" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/generator.cpp.o" "gcc" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/generator.cpp.o.d"
+  "/root/repo/src/pegasus/ligo.cpp" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/ligo.cpp.o" "gcc" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/ligo.cpp.o.d"
+  "/root/repo/src/pegasus/montage.cpp" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/montage.cpp.o" "gcc" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/montage.cpp.o.d"
+  "/root/repo/src/pegasus/sipht.cpp" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/sipht.cpp.o" "gcc" "src/pegasus/CMakeFiles/cloudwf_pegasus.dir/sipht.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/cloudwf_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudwf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

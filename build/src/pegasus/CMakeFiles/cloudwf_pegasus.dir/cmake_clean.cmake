@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_pegasus.dir/cybershake.cpp.o"
+  "CMakeFiles/cloudwf_pegasus.dir/cybershake.cpp.o.d"
+  "CMakeFiles/cloudwf_pegasus.dir/epigenomics.cpp.o"
+  "CMakeFiles/cloudwf_pegasus.dir/epigenomics.cpp.o.d"
+  "CMakeFiles/cloudwf_pegasus.dir/generator.cpp.o"
+  "CMakeFiles/cloudwf_pegasus.dir/generator.cpp.o.d"
+  "CMakeFiles/cloudwf_pegasus.dir/ligo.cpp.o"
+  "CMakeFiles/cloudwf_pegasus.dir/ligo.cpp.o.d"
+  "CMakeFiles/cloudwf_pegasus.dir/montage.cpp.o"
+  "CMakeFiles/cloudwf_pegasus.dir/montage.cpp.o.d"
+  "CMakeFiles/cloudwf_pegasus.dir/sipht.cpp.o"
+  "CMakeFiles/cloudwf_pegasus.dir/sipht.cpp.o.d"
+  "libcloudwf_pegasus.a"
+  "libcloudwf_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/io.cpp" "src/platform/CMakeFiles/cloudwf_platform.dir/io.cpp.o" "gcc" "src/platform/CMakeFiles/cloudwf_platform.dir/io.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/platform/CMakeFiles/cloudwf_platform.dir/platform.cpp.o" "gcc" "src/platform/CMakeFiles/cloudwf_platform.dir/platform.cpp.o.d"
+  "/root/repo/src/platform/pricing.cpp" "src/platform/CMakeFiles/cloudwf_platform.dir/pricing.cpp.o" "gcc" "src/platform/CMakeFiles/cloudwf_platform.dir/pricing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudwf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_platform.dir/io.cpp.o"
+  "CMakeFiles/cloudwf_platform.dir/io.cpp.o.d"
+  "CMakeFiles/cloudwf_platform.dir/platform.cpp.o"
+  "CMakeFiles/cloudwf_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/cloudwf_platform.dir/pricing.cpp.o"
+  "CMakeFiles/cloudwf_platform.dir/pricing.cpp.o.d"
+  "libcloudwf_platform.a"
+  "libcloudwf_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

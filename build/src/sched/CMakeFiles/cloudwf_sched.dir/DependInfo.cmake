@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bdt.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/bdt.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/bdt.cpp.o.d"
+  "/root/repo/src/sched/best_host.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/best_host.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/best_host.cpp.o.d"
+  "/root/repo/src/sched/budget.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/budget.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/budget.cpp.o.d"
+  "/root/repo/src/sched/cg.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/cg.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/cg.cpp.o.d"
+  "/root/repo/src/sched/eft.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/eft.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/eft.cpp.o.d"
+  "/root/repo/src/sched/heft.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/heft.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/heft.cpp.o.d"
+  "/root/repo/src/sched/heft_budg_plus.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/heft_budg_plus.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/heft_budg_plus.cpp.o.d"
+  "/root/repo/src/sched/minmin.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/minmin.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/minmin.cpp.o.d"
+  "/root/repo/src/sched/refine.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/refine.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/refine.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/registry.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/registry.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/cloudwf_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/cloudwf_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cloudwf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/cloudwf_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cloudwf_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudwf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

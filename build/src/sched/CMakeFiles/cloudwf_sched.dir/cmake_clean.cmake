@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_sched.dir/bdt.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/bdt.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/best_host.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/best_host.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/budget.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/budget.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/cg.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/cg.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/eft.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/eft.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/heft.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/heft.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/heft_budg_plus.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/heft_budg_plus.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/minmin.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/minmin.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/refine.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/refine.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/registry.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/registry.cpp.o.d"
+  "CMakeFiles/cloudwf_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cloudwf_sched.dir/scheduler.cpp.o.d"
+  "libcloudwf_sched.a"
+  "libcloudwf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fluid.cpp" "src/sim/CMakeFiles/cloudwf_sim.dir/fluid.cpp.o" "gcc" "src/sim/CMakeFiles/cloudwf_sim.dir/fluid.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/cloudwf_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/cloudwf_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/cloudwf_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/cloudwf_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/cloudwf_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/cloudwf_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/cloudwf_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/cloudwf_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/cloudwf_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cloudwf_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudwf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

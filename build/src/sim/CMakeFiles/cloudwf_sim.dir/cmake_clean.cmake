@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_sim.dir/fluid.cpp.o"
+  "CMakeFiles/cloudwf_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/cloudwf_sim.dir/gantt.cpp.o"
+  "CMakeFiles/cloudwf_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/cloudwf_sim.dir/schedule.cpp.o"
+  "CMakeFiles/cloudwf_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/cloudwf_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cloudwf_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/cloudwf_sim.dir/trace.cpp.o"
+  "CMakeFiles/cloudwf_sim.dir/trace.cpp.o.d"
+  "libcloudwf_sim.a"
+  "libcloudwf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

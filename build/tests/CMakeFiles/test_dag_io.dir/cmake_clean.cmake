@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_io.dir/dag/test_io.cpp.o"
+  "CMakeFiles/test_dag_io.dir/dag/test_io.cpp.o.d"
+  "test_dag_io"
+  "test_dag_io.pdb"
+  "test_dag_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eft.dir/sched/test_eft.cpp.o"
+  "CMakeFiles/test_eft.dir/sched/test_eft.cpp.o.d"
+  "test_eft"
+  "test_eft.pdb"
+  "test_eft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

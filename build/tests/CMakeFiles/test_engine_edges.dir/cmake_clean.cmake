@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_edges.dir/sim/test_engine_edges.cpp.o"
+  "CMakeFiles/test_engine_edges.dir/sim/test_engine_edges.cpp.o.d"
+  "test_engine_edges"
+  "test_engine_edges.pdb"
+  "test_engine_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

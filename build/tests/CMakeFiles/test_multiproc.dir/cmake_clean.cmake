@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiproc.dir/sim/test_multiproc.cpp.o"
+  "CMakeFiles/test_multiproc.dir/sim/test_multiproc.cpp.o.d"
+  "test_multiproc"
+  "test_multiproc.pdb"
+  "test_multiproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

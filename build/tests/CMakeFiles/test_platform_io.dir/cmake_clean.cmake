@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_io.dir/platform/test_platform_io.cpp.o"
+  "CMakeFiles/test_platform_io.dir/platform/test_platform_io.cpp.o.d"
+  "test_platform_io"
+  "test_platform_io.pdb"
+  "test_platform_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stochastic.dir/dag/test_stochastic.cpp.o"
+  "CMakeFiles/test_stochastic.dir/dag/test_stochastic.cpp.o.d"
+  "test_stochastic"
+  "test_stochastic.pdb"
+  "test_stochastic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

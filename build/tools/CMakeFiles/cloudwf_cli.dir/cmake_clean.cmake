@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwf_cli.dir/cloudwf_cli.cpp.o"
+  "CMakeFiles/cloudwf_cli.dir/cloudwf_cli.cpp.o.d"
+  "cloudwf"
+  "cloudwf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
