@@ -92,6 +92,66 @@ void CsvWriter::write_escaped(std::string_view value) {
   out_ << '"';
 }
 
+std::vector<std::vector<std::string>> parse_csv(std::string_view text, char separator) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;  // a separator or any field character seen
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // doubled quote = literal quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;  // separators and newlines are data inside quotes
+      }
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {  // opening quote at field start
+      in_quotes = true;
+      row_has_content = true;
+      ++i;
+      continue;
+    }
+    if (c == separator) {
+      row.push_back(std::move(field));
+      field.clear();
+      row_has_content = true;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;  // CRLF
+      ++i;
+      if (row_has_content || !field.empty()) {
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        row_has_content = false;
+      }
+      continue;  // blank line: no row
+    }
+    field += c;
+    row_has_content = true;
+    ++i;
+  }
+  require(!in_quotes, "parse_csv: unterminated quoted field");
+  if (row_has_content || !field.empty()) {  // final row without trailing newline
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 CsvFile::CsvFile(const std::string& path) : stream_(path), writer_(stream_) {
   require(stream_.good(), "CsvFile: cannot open " + path);
 }

@@ -48,6 +48,13 @@ class CsvWriter {
   std::size_t fields_in_row_ = 0;
 };
 
+/// Parses an RFC-4180-style CSV document: quoted fields, doubled quotes,
+/// embedded separators/newlines, LF or CRLF row ends.  The exact inverse of
+/// CsvWriter's escaping, so write -> parse round-trips any field content.
+/// Blank lines are skipped; throws ValidationError on an unterminated quote.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text,
+                                                              char separator = ',');
+
 /// Convenience owner that writes a CSV file on disk.
 class CsvFile {
  public:

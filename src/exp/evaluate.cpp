@@ -39,14 +39,23 @@ EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& 
   result.used_vms = output.schedule.used_vm_count();
 
   const sim::Simulator simulator(wf, platform);
+  const bool inject = config.faults.enabled();
   const Rng base(config.seed);
   std::size_t valid = 0;
   std::size_t in_time = 0;
   std::size_t objective = 0;
+  std::size_t succeeded = 0;
+  std::size_t crashes = 0;
+  std::size_t failed_tasks = 0;
+  Dollars recovery_cost = 0;
+  Seconds wasted = 0;
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
     Rng stream = base.fork(rep);
     const dag::WeightRealization weights = dag::sample_weights(wf, stream);
-    const sim::SimResult run = simulator.run(output.schedule, weights);
+    const sim::SimResult run =
+        inject ? simulator.run_with_faults(output.schedule, weights,
+                                           config.faults.for_repetition(rep), config.recovery)
+               : simulator.run(output.schedule, weights);
     result.makespan.add(run.makespan);
     result.cost.add(run.total_cost());
     const bool within_budget = run.total_cost() <= budget + money_epsilon;
@@ -55,6 +64,11 @@ EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& 
     if (within_budget) ++valid;
     if (within_deadline) ++in_time;
     if (within_budget && within_deadline) ++objective;  // Eq. (3)
+    if (run.success()) ++succeeded;
+    crashes += run.faults.crashes;
+    failed_tasks += run.faults.failed_tasks;
+    recovery_cost += run.faults.recovery_cost;
+    wasted += run.faults.wasted_compute;
   }
   const auto fraction = [&](std::size_t count) {
     return static_cast<double>(count) / static_cast<double>(config.repetitions);
@@ -62,6 +76,11 @@ EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& 
   result.valid_fraction = fraction(valid);
   result.deadline_fraction = fraction(in_time);
   result.objective_fraction = fraction(objective);
+  result.success_fraction = fraction(succeeded);
+  result.crashes_mean = fraction(crashes);
+  result.failed_tasks_mean = fraction(failed_tasks);
+  result.recovery_cost_mean = recovery_cost / static_cast<double>(config.repetitions);
+  result.wasted_compute_mean = wasted / static_cast<double>(config.repetitions);
   return result;
 }
 

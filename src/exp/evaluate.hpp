@@ -17,6 +17,7 @@
 #include "dag/workflow.hpp"
 #include "platform/platform.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/faults.hpp"
 
 namespace cloudwf::exp {
 
@@ -26,6 +27,11 @@ struct EvalConfig {
   std::uint64_t seed = 0x5EEDu;   ///< base seed; realization r forks stream r
   bool measure_cpu_time = false;  ///< time the scheduling call (Table III)
   Seconds deadline = 0;           ///< D of Eq. (3); 0 = no deadline
+  /// Fault injection (disabled by default).  Repetition r runs with
+  /// faults.for_repetition(r), so results are reproducible and identical
+  /// under run_serial and run_parallel.
+  sim::FaultModel faults;
+  sim::RecoveryPolicy recovery;  ///< used only when faults are enabled
 };
 
 /// Aggregated outcome of one (workflow, algorithm, budget) point.
@@ -47,6 +53,13 @@ struct EvalResult {
   double deadline_fraction = 1.0;
   /// Fraction of repetitions satisfying Eq. (3): deadline AND budget.
   double objective_fraction = 0;
+
+  // Fault tolerance (all repetitions succeed trivially without injection).
+  double success_fraction = 1.0;  ///< repetitions with zero failed tasks
+  double crashes_mean = 0;        ///< injected VM crashes per repetition
+  double failed_tasks_mean = 0;   ///< terminal task failures per repetition
+  Dollars recovery_cost_mean = 0; ///< replacement-VM spend per repetition
+  Seconds wasted_compute_mean = 0;  ///< compute seconds lost to interrupts
 
   // Scheduler CPU time (wall time of the scheduling call), when measured.
   Seconds schedule_seconds = 0;

@@ -47,7 +47,9 @@ void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
   csv.header({"workflow", "algorithm", "budget", "tag", "repetitions", "predicted_makespan",
               "predicted_cost", "predicted_feasible", "used_vms", "makespan_mean",
               "makespan_stddev", "makespan_p95", "cost_mean", "cost_stddev", "valid_fraction",
-              "deadline_fraction", "objective_fraction", "schedule_seconds"});
+              "deadline_fraction", "objective_fraction", "success_fraction",
+              "budget_violation_fraction", "crashes_mean", "failed_tasks_mean",
+              "recovery_cost_mean", "wasted_compute_mean", "schedule_seconds"});
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const RunRequest& request = requests[i];
     const EvalResult& r = results[i];
@@ -68,6 +70,12 @@ void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
         .field(r.valid_fraction)
         .field(r.deadline_fraction)
         .field(r.objective_fraction)
+        .field(r.success_fraction)
+        .field(1.0 - r.valid_fraction)
+        .field(r.crashes_mean)
+        .field(r.failed_tasks_mean)
+        .field(r.recovery_cost_mean)
+        .field(r.wasted_compute_mean)
         .field(r.schedule_seconds);
     csv.end_row();
   }

@@ -1,0 +1,49 @@
+#include "sim/faults.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cloudwf::sim {
+
+void FaultModel::validate() const {
+  require(p_boot_fail >= 0 && p_boot_fail < 1,
+          "FaultModel: p_boot_fail must be in [0, 1)");
+  require(p_transfer_fail >= 0 && p_transfer_fail < 1,
+          "FaultModel: p_transfer_fail must be in [0, 1)");
+  require(lambda_crash >= 0 && std::isfinite(lambda_crash),
+          "FaultModel: lambda_crash must be finite and non-negative");
+  require(acquisition_delay >= 0, "FaultModel: negative acquisition_delay");
+}
+
+void RecoveryPolicy::validate() const {
+  require(max_boot_attempts >= 1, "RecoveryPolicy: max_boot_attempts must be >= 1");
+  require(transfer_backoff_base >= 0, "RecoveryPolicy: negative transfer_backoff_base");
+  require(!(budget_cap < 0), "RecoveryPolicy: negative budget_cap");
+}
+
+FaultInjector::FaultInjector(const FaultModel& model)
+    : model_(model),
+      boot_rng_(Rng(model.seed).fork(1)),
+      crash_rng_(Rng(model.seed).fork(2)),
+      transfer_rng_(Rng(model.seed).fork(3)) {}
+
+bool FaultInjector::boot_fails() {
+  if (model_.p_boot_fail <= 0) return false;
+  return boot_rng_.uniform() < model_.p_boot_fail;
+}
+
+Seconds FaultInjector::crash_after() {
+  if (model_.lambda_crash <= 0) return std::numeric_limits<Seconds>::infinity();
+  // Exponential inter-arrival; the rate is per billed hour, uptime is billed
+  // continuously, so convert to per-second.
+  const double u = crash_rng_.uniform();
+  return -std::log1p(-u) / (model_.lambda_crash / units::hour);
+}
+
+bool FaultInjector::transfer_fails() {
+  if (model_.p_transfer_fail <= 0) return false;
+  return transfer_rng_.uniform() < model_.p_transfer_fail;
+}
+
+}  // namespace cloudwf::sim

@@ -8,6 +8,7 @@
 #include "common/units.hpp"
 #include "dag/task.hpp"
 #include "platform/pricing.hpp"
+#include "sim/faults.hpp"
 #include "sim/schedule.hpp"
 
 namespace cloudwf::sim {
@@ -18,7 +19,11 @@ struct TaskRecord {
   Seconds inputs_at_dc = 0;  ///< when the last cross-VM input reached the DC
   Seconds start = 0;         ///< (final) compute start
   Seconds finish = 0;        ///< compute end
-  std::size_t restarts = 0;  ///< online-mode interruptions of this task
+  std::size_t restarts = 0;  ///< interruptions (online migrations + crashes)
+  /// Terminal failure: the task never completed (inputs unreachable, crash
+  /// retries exhausted, host unrecoverable) or its final external output was
+  /// lost.  start/finish are meaningless for tasks that never ran.
+  bool failed = false;
   /// The task whose completion/upload/processor-release gated our start;
   /// dag::invalid_task when gated only by boot or time zero.  Follows the
   /// schedule's critical path backwards (used by CG+).
@@ -33,6 +38,9 @@ struct VmRecord {
   Seconds end = 0;           ///< last compute/transfer on this VM (H_end,v)
   Seconds busy = 0;          ///< total compute seconds
   std::size_t task_count = 0;
+  std::size_t boot_attempts = 0;  ///< provisioning tries (0 = never booked)
+  bool crashed = false;           ///< injected crash killed this VM
+  bool recovery = false;          ///< provisioned by fault recovery
 };
 
 /// Aggregate transfer statistics.
@@ -53,8 +61,11 @@ struct SimResult {
   std::vector<VmRecord> vms;  ///< indexed by VmId; unused VMs have task_count 0
   TransferStats transfers;
   std::size_t migrations = 0;  ///< online-mode task interruptions (total)
+  FaultStats faults;           ///< all-zero unless faults were injected
 
   [[nodiscard]] Dollars total_cost() const { return cost.total(); }
+  /// True when every task completed and every external output was delivered.
+  [[nodiscard]] bool success() const { return faults.failed_tasks == 0; }
 };
 
 }  // namespace cloudwf::sim

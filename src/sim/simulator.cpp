@@ -1,8 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <sstream>
 #include <vector>
@@ -29,16 +31,18 @@ struct TransferJob {
   dag::EdgeId edge = 0;                  // for edge_* kinds
   dag::TaskId task = dag::invalid_task;  // producer (uploads) / consumer (downloads)
   Bytes bytes = 0;
+  std::size_t attempts = 0;  // failed attempts so far (fault injection)
 };
 
 /// Engine events other than flow completions.
 struct Event {
   Seconds time = 0;
   std::uint64_t seq = 0;  // insertion order; makes ties deterministic
-  enum class Kind { boot_done, task_done, timeout } kind{};
+  enum class Kind { boot_done, task_done, timeout, crash, transfer_retry } kind{};
   VmId vm = invalid_vm;
   dag::TaskId task = dag::invalid_task;
   std::uint32_t epoch = 0;  // task (re)start generation; stale events are dropped
+  std::size_t job = 0;      // TransferJob index (transfer_retry only)
 };
 
 struct EventLater {
@@ -52,18 +56,24 @@ struct EventLater {
 ///
 /// The task-to-VM mapping starts as a copy of the static Schedule but is
 /// *mutable*: the online policy (paper Section VI) may interrupt a running
-/// task and restart it on a freshly provisioned VM of the fastest category.
+/// task and restart it on a freshly provisioned VM of the fastest category,
+/// and fault recovery (faults.hpp) may re-home the work of a crashed VM.
 class Execution {
  public:
   Execution(const dag::Workflow& wf, const platform::Platform& platform,
             const Schedule& schedule, const dag::WeightRealization& weights,
-            const OnlinePolicy* policy)
+            const OnlinePolicy* policy, const FaultModel* faults,
+            const RecoveryPolicy* recovery)
       : wf_(wf),
         platform_(platform),
         schedule_(schedule),
         weights_(weights),
         policy_(policy),
-        fluid_(platform.bandwidth(), platform.dc_aggregate_bandwidth()) {}
+        faults_(faults),
+        recovery_(recovery),
+        fluid_(platform.bandwidth(), platform.dc_aggregate_bandwidth()) {
+    if (faults_ != nullptr && faults_->enabled()) injector_.emplace(*faults_);
+  }
 
   SimResult run();
 
@@ -85,6 +95,13 @@ class Execution {
     bool uplink_busy = false;
     bool downlink_busy = false;
     std::size_t tasks_done = 0;
+    // Fault bookkeeping.  A dead VM computes nothing and bills nothing past
+    // `end`, but its persistent volume can still drain already-produced data
+    // through the datacenter.
+    bool dead = false;
+    bool crashed = false;
+    bool recovery_vm = false;
+    std::size_t boot_attempts = 0;
   };
 
   struct TaskState {
@@ -93,6 +110,7 @@ class Execution {
     std::size_t dc_in_pending = 0;      // cross-VM inputs not yet at the DC
     bool started = false;
     bool finished = false;
+    bool failed = false;  // terminal: will never (re)run / output lost
     std::uint32_t epoch = 0;  // bumped on every interruption
     Seconds gate_time = 0;
     dag::TaskId gate_task = dag::invalid_task;
@@ -102,10 +120,13 @@ class Execution {
   const platform::Platform& platform_;
   const Schedule& schedule_;
   const dag::WeightRealization& weights_;
-  const OnlinePolicy* policy_;  // nullptr = offline (static) execution
+  const OnlinePolicy* policy_;         // nullptr = offline (static) execution
+  const FaultModel* faults_;           // nullptr = no fault layer
+  const RecoveryPolicy* recovery_;     // set whenever faults_ is
+  std::optional<FaultInjector> injector_;  // engaged only for an enabled model
   FluidNetwork fluid_;
 
-  // Mutable mapping (seeded from schedule_, extended by migrations).
+  // Mutable mapping (seeded from schedule_, extended by migrations/recovery).
   std::vector<VmPlan> plans_;
   std::vector<VmId> vm_of_;
 
@@ -120,16 +141,19 @@ class Execution {
   std::uint64_t next_seq_ = 0;
   Seconds now_ = 0;
   std::size_t tasks_finished_ = 0;
+  std::size_t tasks_terminal_ = 0;  // finished or failed-before-finishing
+  std::size_t pending_retries_ = 0;
   std::size_t transfers_done_ = 0;
   Bytes transfer_bytes_ = 0;
   std::size_t migrations_ = 0;
+  FaultStats stats_;
   std::vector<TaskRecord> records_;
 
   // ---- helpers --------------------------------------------------------------
 
   void push_event(Seconds time, Event::Kind kind, VmId vm, dag::TaskId task,
-                  std::uint32_t epoch = 0) {
-    events_.push(Event{time, next_seq_++, kind, vm, task, epoch});
+                  std::uint32_t epoch = 0, std::size_t job = 0) {
+    events_.push(Event{time, next_seq_++, kind, vm, task, epoch, job});
   }
 
   void gate_update(dag::TaskId task, Seconds time, dag::TaskId cause) {
@@ -149,6 +173,7 @@ class Execution {
   void init();
   void main_loop();
   void request_boot(VmId vm);
+  void maybe_request_boot(VmId vm);
   void on_boot_done(VmId vm);
   void enqueue_job(TransferJob job);
   void pump_link(VmId vm, Direction dir);
@@ -159,6 +184,15 @@ class Execution {
   void on_task_done(VmId vm, dag::TaskId task);
   void on_timeout(VmId vm, dag::TaskId task);
   void migrate(VmId from, dag::TaskId task);
+  void interrupt_running(VmId vm, dag::TaskId task);
+  void on_crash(VmId vm);
+  void abandon_boot(VmId vm);
+  void recover_tasks(VmId from, bool allow_provisioning);
+  void restage_task(dag::TaskId task, std::vector<TransferJob>& uploads);
+  void enqueue_moved_downloads(VmId vm, const std::vector<dag::TaskId>& moved);
+  void on_transfer_retry(std::size_t job_index);
+  void abort_transfer(const TransferJob& job);
+  void fail_task(dag::TaskId task);
   [[nodiscard]] Dollars committed_vm_cost() const;
   [[noreturn]] void report_deadlock() const;
   [[nodiscard]] SimResult finalize() const;
@@ -205,30 +239,60 @@ void Execution::init() {
 
   // Book every VM whose first task already has its cross-VM inputs at the DC
   // (entry tasks: external inputs wait at the DC from time zero).
-  for (VmId v = 0; v < plans_.size(); ++v) {
-    const auto& tasks = plans_[v].tasks;
-    if (!tasks.empty() && tasks_[tasks.front()].dc_in_pending == 0) request_boot(v);
-  }
+  for (VmId v = 0; v < plans_.size(); ++v) maybe_request_boot(v);
 }
 
 void Execution::request_boot(VmId vm) {
   VmState& state = vms_[vm];
-  CLOUDWF_ASSERT(state.boot == BootState::unrequested);
+  CLOUDWF_ASSERT(state.boot == BootState::unrequested && !state.dead);
   state.boot = BootState::booting;
   state.boot_request = now_;
+  state.boot_attempts = 1;
   state.boot_done = now_ + platform_.boot_delay();
   push_event(state.boot_done, Event::Kind::boot_done, vm, dag::invalid_task);
 }
 
+void Execution::maybe_request_boot(VmId vm) {
+  VmState& state = vms_[vm];
+  if (state.boot != BootState::unrequested || state.dead) return;
+  // Boot gate: the first runnable task of the list must have its cross-VM
+  // inputs at the DC.  Failed tasks will never run, so they cannot hold the
+  // gate; without faults this is exactly "the first task of the list".
+  for (dag::TaskId t : plans_[vm].tasks) {
+    if (vm_of_[t] != vm || tasks_[t].finished || tasks_[t].failed) continue;
+    if (tasks_[t].dc_in_pending == 0) request_boot(vm);
+    return;
+  }
+}
+
 void Execution::on_boot_done(VmId vm) {
   VmState& state = vms_[vm];
+  if (injector_ && injector_->boot_fails()) {
+    ++stats_.boot_failures;
+    if (state.boot_attempts < recovery_->max_boot_attempts) {
+      // Re-provision: a fresh acquisition after the IaaS acquisition delay.
+      ++state.boot_attempts;
+      state.boot_done = now_ + faults_->acquisition_delay + platform_.boot_delay();
+      push_event(state.boot_done, Event::Kind::boot_done, vm, dag::invalid_task);
+    } else {
+      abandon_boot(vm);
+    }
+    return;
+  }
   state.boot = BootState::up;
   state.end = std::max(state.end, now_);
+  if (injector_) {
+    // Billed uptime until an injected crash; the event is ignored if the VM
+    // drains all of its work before the crash fires.
+    const Seconds uptime = injector_->crash_after();
+    if (std::isfinite(uptime)) push_event(now_ + uptime, Event::Kind::crash, vm, dag::invalid_task);
+  }
 
   // Enqueue every download that is already possible, in list order (stable
   // FIFO per link keeps the run deterministic).
   for (dag::TaskId t : plans_[vm].tasks) {
-    if (tasks_[t].started || tasks_[t].finished) continue;  // migration leftovers
+    if (vm_of_[t] != vm || tasks_[t].started || tasks_[t].finished || tasks_[t].failed)
+      continue;  // migration/recovery leftovers
     if (wf_.external_input_of(t) > 0)
       enqueue_job({JobKind::ext_input_download, vm, 0, t, wf_.external_input_of(t)});
     for (dag::EdgeId e : wf_.in_edges(t)) {
@@ -245,7 +309,8 @@ void Execution::on_boot_done(VmId vm) {
 void Execution::enqueue_job(TransferJob job) {
   const bool is_upload = job.kind == JobKind::edge_upload || job.kind == JobKind::ext_output_upload;
   if (job.bytes <= 0) {
-    // Zero-byte data is instantaneous; dispatch inline.
+    // Zero-byte data is instantaneous; dispatch inline (and below the fault
+    // layer: a flow that never exists cannot fail).
     if (is_upload)
       on_upload_done(job);
     else
@@ -272,20 +337,97 @@ void Execution::pump_link(VmId vm, Direction dir) {
 }
 
 void Execution::on_flow_complete(FlowId flow) {
-  const TransferJob job = jobs_[flow_to_job_[flow]];
+  const std::size_t job_index = flow_to_job_[flow];
+  const TransferJob job = jobs_[job_index];
   VmState& state = vms_[job.vm];
-  state.end = std::max(state.end, now_);
-  ++transfers_done_;
-  transfer_bytes_ += job.bytes;
 
   const bool is_upload = job.kind == JobKind::edge_upload || job.kind == JobKind::ext_output_upload;
   (is_upload ? state.uplink_busy : state.downlink_busy) = false;
   pump_link(job.vm, is_upload ? Direction::upload : Direction::download);
 
+  // Stale download: the consumer moved away (crash recovery) or failed while
+  // the flow was in flight; discard the data silently.
+  if (!is_upload && (vm_of_[job.task] != job.vm || tasks_[job.task].failed)) return;
+
+  // A dead VM's billing froze at the crash; volume drains do not extend it.
+  if (!state.dead) state.end = std::max(state.end, now_);
+
+  if (injector_ && injector_->transfer_fails()) {
+    ++stats_.transfer_failures;
+    TransferJob& stored = jobs_[job_index];
+    ++stored.attempts;
+    if (stored.attempts <= recovery_->max_transfer_retries) {
+      // Exponential backoff: retry n waits base * 2^(n-1) seconds.
+      const Seconds backoff = recovery_->transfer_backoff_base *
+                              std::ldexp(1.0, static_cast<int>(stored.attempts) - 1);
+      ++pending_retries_;
+      push_event(now_ + backoff, Event::Kind::transfer_retry, job.vm, job.task, 0, job_index);
+    } else {
+      ++stats_.transfer_aborts;
+      abort_transfer(stored);
+    }
+    return;
+  }
+
+  ++transfers_done_;
+  transfer_bytes_ += job.bytes;
+
   if (is_upload)
     on_upload_done(job);
   else
     on_download_done(job);
+}
+
+void Execution::on_transfer_retry(std::size_t job_index) {
+  --pending_retries_;
+  const TransferJob& job = jobs_[job_index];
+  const bool is_upload = job.kind == JobKind::edge_upload || job.kind == JobKind::ext_output_upload;
+  if (is_upload) {
+    // Pointless when the consumer already failed for other reasons.
+    if (job.kind == JobKind::edge_upload && tasks_[wf_.edge(job.edge).dst].failed) return;
+  } else {
+    if (vm_of_[job.task] != job.vm || tasks_[job.task].failed) return;  // stale
+  }
+  VmState& state = vms_[job.vm];
+  (is_upload ? state.queue_up : state.queue_down).push_back(job_index);
+  pump_link(job.vm, is_upload ? Direction::upload : Direction::download);
+}
+
+void Execution::abort_transfer(const TransferJob& job) {
+  switch (job.kind) {
+    case JobKind::edge_upload:
+      fail_task(wf_.edge(job.edge).dst);  // its input can never arrive
+      break;
+    case JobKind::edge_download:
+    case JobKind::ext_input_download:
+      fail_task(job.task);
+      break;
+    case JobKind::ext_output_upload:
+      fail_task(job.task);  // computed, but the final delivery was lost
+      break;
+  }
+}
+
+void Execution::fail_task(dag::TaskId task) {
+  TaskState& ts = tasks_[task];
+  if (ts.failed) return;
+  ts.failed = true;
+  records_[task].failed = true;
+  ++stats_.failed_tasks;
+  if (!ts.finished) {
+    CLOUDWF_ASSERT(!ts.started);  // running tasks are interrupted before failing
+    ++tasks_terminal_;
+    // Without this task's outputs none of its consumers can ever run.
+    for (dag::EdgeId e : wf_.out_edges(task)) fail_task(wf_.edge(e).dst);
+  }
+  // Skipping the failed slot may unblock its host VM's list scan or boot gate.
+  const VmId vm = vm_of_[task];
+  if (vm != invalid_vm && !vms_[vm].dead) {
+    if (vms_[vm].boot == BootState::up)
+      try_start_tasks(vm);
+    else if (vms_[vm].boot == BootState::unrequested)
+      maybe_request_boot(vm);
+  }
 }
 
 void Execution::on_upload_done(const TransferJob& job) {
@@ -296,6 +438,7 @@ void Execution::on_upload_done(const TransferJob& job) {
   edge_at_dc_[e] = now_;
   const dag::TaskId consumer = edge.dst;
   TaskState& ts = tasks_[consumer];
+  if (ts.failed) return;  // data parked at the DC; nobody will fetch it
   CLOUDWF_ASSERT(ts.dc_in_pending > 0);
   if (--ts.dc_in_pending == 0) records_[consumer].inputs_at_dc = now_;
 
@@ -305,14 +448,14 @@ void Execution::on_upload_done(const TransferJob& job) {
     download_enqueued_[e] = true;
     enqueue_job({JobKind::edge_download, cvm, e, consumer, edge.bytes});
   } else if (consumer_vm.boot == BootState::unrequested) {
-    const auto first = plans_[cvm].tasks.front();
-    if (tasks_[first].dc_in_pending == 0) request_boot(cvm);
+    maybe_request_boot(cvm);
   }
 }
 
 void Execution::on_download_done(const TransferJob& job) {
   const dag::TaskId task = job.task;
   TaskState& ts = tasks_[task];
+  if (ts.failed) return;
   CLOUDWF_ASSERT(ts.remote_in_pending > 0);
   --ts.remote_in_pending;
   const dag::TaskId cause =
@@ -323,14 +466,14 @@ void Execution::on_download_done(const TransferJob& job) {
 
 void Execution::try_start_tasks(VmId vm) {
   VmState& state = vms_[vm];
-  if (state.boot != BootState::up) return;
+  if (state.boot != BootState::up || state.dead) return;
   const auto& plan = plans_[vm].tasks;
   while (state.next_start_idx < plan.size()) {
     const dag::TaskId t = plan[state.next_start_idx];
     TaskState& ts = tasks_[t];
-    if (ts.finished || (ts.started && vm_of_[t] != vm)) {
-      // Migration leftover: the task moved away (or already completed
-      // elsewhere); skip its old slot.
+    if (ts.finished || ts.failed || (ts.started && vm_of_[t] != vm)) {
+      // Migration/recovery leftover: the task moved away (or already
+      // completed elsewhere) or can never run; skip its old slot.
       ++state.next_start_idx;
       continue;
     }
@@ -371,13 +514,14 @@ void Execution::on_task_done(VmId vm, dag::TaskId task) {
   TaskState& ts = tasks_[task];
   ts.finished = true;
   ++tasks_finished_;
+  ++tasks_terminal_;
   ++state.tasks_done;
   ++state.free_procs;
   state.end = std::max(state.end, now_);
-  
 
   for (dag::EdgeId e : wf_.out_edges(task)) {
     const dag::Edge& edge = wf_.edge(e);
+    if (tasks_[edge.dst].failed) continue;  // nobody left to deliver to
     if (edge_needs_transfer_[e]) {
       enqueue_job({JobKind::edge_upload, vm, e, task, edge.bytes});
     } else {
@@ -397,18 +541,21 @@ void Execution::on_task_done(VmId vm, dag::TaskId task) {
 }
 
 Dollars Execution::committed_vm_cost() const {
-  // Billed time so far plus setups of all booked VMs (the online policy's
-  // spend guard; datacenter charges are not included — they are small and
-  // budget reservations already cover them).
+  // Billed time so far plus setups of all booked VMs (the spend guard of the
+  // online policy and of fault recovery; datacenter charges are not included
+  // — they are small and budget reservations already cover them).
   Dollars committed = 0;
   for (VmId v = 0; v < vms_.size(); ++v) {
     const VmState& state = vms_[v];
     if (state.boot == BootState::unrequested) continue;
+    if (state.dead && state.boot != BootState::up) continue;  // abandoned boot: never billed
     const platform::VmCategory& category = vm_category(v);
     committed += category.setup_cost;
-    if (state.boot == BootState::up)
-      committed += (std::max(now_, state.boot_done) - state.boot_done) *
-                   category.price_per_second;
+    if (state.boot == BootState::up) {
+      const Seconds until =
+          state.dead ? std::max(state.end, state.boot_done) : std::max(now_, state.boot_done);
+      committed += (until - state.boot_done) * category.price_per_second;
+    }
   }
   return committed;
 }
@@ -422,33 +569,41 @@ void Execution::on_timeout(VmId vm, dag::TaskId task) {
   const platform::CategoryId fastest = platform_.fastest_category();
   const platform::VmCategory& target = platform_.category(fastest);
   if (target.speed < policy_->min_speedup * vm_speed(vm)) return;
-  // ... and the projected spend must stay under the cap.  Projection: spend
-  // so far + conservative compute of the restarted task + its input re-stage.
+  // ... and the projected spend must stay *strictly below* the cap (the
+  // projection is an estimate; consuming the cap exactly leaves no headroom).
+  // Projection: spend so far + conservative compute of the restarted task +
+  // its input re-stage.
   Bytes restage = wf_.external_input_of(task);
   for (dag::EdgeId e : wf_.in_edges(task)) restage += wf_.edge(e).bytes;
   const Seconds projected_time = wf_.task(task).conservative_weight() / target.speed +
                                  restage / platform_.bandwidth();
-  if (committed_vm_cost() + target.setup_cost + projected_time * target.price_per_second >
+  if (committed_vm_cost() + target.setup_cost + projected_time * target.price_per_second >=
       policy_->budget_cap)
     return;
 
   migrate(vm, task);
 }
 
+void Execution::interrupt_running(VmId vm, dag::TaskId task) {
+  TaskState& ts = tasks_[task];
+  VmState& state = vms_[vm];
+  // Drop the pending task_done (and timeout) events by bumping the epoch;
+  // the work done so far is lost.
+  ++ts.epoch;
+  ts.started = false;
+  ++state.free_procs;
+  // The busy accounting speculatively added the full duration at start;
+  // replace it with the actually spent slice.
+  state.busy -= records_[task].finish - records_[task].start;
+  state.busy += now_ - records_[task].start;
+}
+
 void Execution::migrate(VmId from, dag::TaskId task) {
   TaskState& ts = tasks_[task];
   VmState& old_state = vms_[from];
 
-  // Interrupt: free the processor, drop the pending task_done event by
-  // bumping the epoch; the work done so far is lost.
-  ++ts.epoch;
-  ts.started = false;
-  ++old_state.free_procs;
+  interrupt_running(from, task);
   old_state.end = std::max(old_state.end, now_);
-  // The busy accounting speculatively added the full duration at start;
-  // replace it with the actually spent slice.
-  old_state.busy -= records_[task].finish - records_[task].start;
-  old_state.busy += now_ - records_[task].start;
   ++records_[task].restarts;
   ++migrations_;
 
@@ -500,12 +655,198 @@ void Execution::migrate(VmId from, dag::TaskId task) {
   try_start_tasks(from);
 }
 
+void Execution::on_crash(VmId vm) {
+  VmState& state = vms_[vm];
+  if (state.dead || state.boot != BootState::up) return;
+  // A crash only matters while the VM still owes work; afterwards the VM is
+  // considered released (billing already stopped at its last activity).
+  bool live = false;
+  for (dag::TaskId t : plans_[vm].tasks) {
+    if (vm_of_[t] == vm && !tasks_[t].finished && !tasks_[t].failed) {
+      live = true;
+      break;
+    }
+  }
+  if (!live) return;
+  ++stats_.crashes;
+  state.crashed = true;
+  state.dead = true;
+  state.end = std::max(state.end, now_);  // billing freezes here
+  recover_tasks(vm, /*allow_provisioning=*/true);
+}
+
+void Execution::abandon_boot(VmId vm) {
+  // Provisioning retries exhausted.  Nothing was ever billed (the VM never
+  // came up); re-home its tasks without provisioning a replacement — the
+  // boot retries *were* the re-provisioning attempts for this placement.
+  vms_[vm].dead = true;
+  recover_tasks(vm, /*allow_provisioning=*/false);
+}
+
+void Execution::recover_tasks(VmId from, bool allow_provisioning) {
+  // 1. Interrupt whatever was running; bounded re-executions per task.
+  for (dag::TaskId t : plans_[from].tasks) {
+    if (vm_of_[t] != from) continue;
+    TaskState& ts = tasks_[t];
+    if (!ts.started || ts.finished || ts.failed) continue;
+    interrupt_running(from, t);
+    stats_.wasted_compute += now_ - records_[t].start;
+    ++records_[t].restarts;
+    ++stats_.task_reexecutions;
+    if (records_[t].restarts > recovery_->max_task_retries) fail_task(t);
+  }
+
+  // 2. Everything not finished (and not failed) must find a new home.
+  std::vector<dag::TaskId> pending;
+  for (dag::TaskId t : plans_[from].tasks)
+    if (vm_of_[t] == from && !tasks_[t].finished && !tasks_[t].failed) pending.push_back(t);
+  if (pending.empty()) return;
+
+  // 3. Pick the new home: a same-category replacement while the projected
+  //    spend stays strictly below the recovery budget cap, otherwise degrade
+  //    gracefully and re-pack onto a surviving already-paid VM.
+  VmId target = invalid_vm;
+  bool fresh = false;
+  if (allow_provisioning) {
+    const platform::VmCategory& category = vm_category(from);
+    Instructions remaining = 0;
+    for (dag::TaskId t : pending) remaining += wf_.task(t).conservative_weight();
+    const Dollars projected = committed_vm_cost() + category.setup_cost +
+                              (remaining / category.speed) * category.price_per_second;
+    if (projected < recovery_->budget_cap)
+      fresh = true;
+    else
+      stats_.degraded = true;
+  }
+  if (fresh) {
+    target = static_cast<VmId>(plans_.size());
+    plans_.push_back(VmPlan{plans_[from].category, pending});
+    vms_.emplace_back();
+    vms_.back().free_procs = vm_category(target).processors;
+    vms_.back().recovery_vm = true;
+  } else {
+    // Survivor with the least pending work (ties to the lowest id).
+    std::size_t best_load = 0;
+    for (VmId v = 0; v < vms_.size(); ++v) {
+      if (v == from || vms_[v].dead || vms_[v].boot == BootState::unrequested) continue;
+      std::size_t load = 0;
+      for (dag::TaskId t : plans_[v].tasks)
+        if (vm_of_[t] == v && !tasks_[t].finished && !tasks_[t].failed) ++load;
+      if (target == invalid_vm || load < best_load) {
+        target = v;
+        best_load = load;
+      }
+    }
+    if (target == invalid_vm) {
+      // No paid VM survives and provisioning is vetoed: terminal failures.
+      for (dag::TaskId t : pending) fail_task(t);
+      return;
+    }
+  }
+
+  for (dag::TaskId t : pending) {
+    vm_of_[t] = target;
+    records_[t].vm = target;
+  }
+
+  if (!fresh) {
+    // Merge the moved tasks into the unstarted tail of the survivor's list,
+    // ordered by schedule priority.  Starts happen strictly in list order,
+    // so the merged order must stay dependency-consistent; the priorities of
+    // all built-in algorithms (bottom levels, decision order) are
+    // topological, which guarantees exactly that.
+    auto& plan = plans_[target].tasks;
+    const auto head = static_cast<std::ptrdiff_t>(vms_[target].next_start_idx);
+    std::vector<dag::TaskId> tail(plan.begin() + head, plan.end());
+    tail.insert(tail.end(), pending.begin(), pending.end());
+    std::stable_sort(tail.begin(), tail.end(), [this](dag::TaskId a, dag::TaskId b) {
+      return schedule_.priority(a) > schedule_.priority(b);
+    });
+    plan.resize(static_cast<std::size_t>(head));
+    plan.insert(plan.end(), tail.begin(), tail.end());
+  }
+
+  // 4. Re-stage inputs.  Uploads are collected first and enqueued only after
+  //    every counter is rebuilt: zero-byte jobs dispatch inline and could
+  //    otherwise start a task whose pending-input counts are half-built.
+  std::vector<TransferJob> uploads;
+  for (dag::TaskId t : pending) restage_task(t, uploads);
+
+  // 5. Queued downloads of the dead host are void (in-flight ones are
+  //    discarded on completion).
+  std::erase_if(vms_[from].queue_down, [this, from](std::size_t ji) {
+    const TransferJob& j = jobs_[ji];
+    return vm_of_[j.task] != from || tasks_[j.task].failed;
+  });
+
+  if (fresh) request_boot(target);
+  for (TransferJob& job : uploads) enqueue_job(job);
+  if (!fresh && vms_[target].boot == BootState::up) {
+    enqueue_moved_downloads(target, pending);
+    try_start_tasks(target);
+  }
+  // A still-booting survivor picks the moved tasks up in its boot scan.
+}
+
+void Execution::restage_task(dag::TaskId task, std::vector<TransferJob>& uploads) {
+  TaskState& ts = tasks_[task];
+  ts.remote_in_pending = 0;
+  ts.local_in_pending = 0;
+  ts.dc_in_pending = 0;
+  ts.gate_time = now_;
+  ts.gate_task = dag::invalid_task;
+  const VmId to = vm_of_[task];
+  if (wf_.external_input_of(task) > 0) ++ts.remote_in_pending;  // re-fetch from the DC
+  for (dag::EdgeId e : wf_.in_edges(task)) {
+    const dag::Edge& edge = wf_.edge(e);
+    if (vm_of_[edge.src] == to && !tasks_[edge.src].finished) {
+      // The producer runs (or re-runs) on the same host: a local edge again.
+      edge_needs_transfer_[e] = false;
+      ++ts.local_in_pending;
+      continue;
+    }
+    // The data must come through the datacenter.
+    ++ts.remote_in_pending;
+    if (edge_at_dc_[e] >= 0) {
+      download_enqueued_[e] = false;  // re-download on the new host
+    } else {
+      ++ts.dc_in_pending;
+      if (tasks_[edge.src].finished && !edge_needs_transfer_[e]) {
+        // The output exists only on the producer's volume (possibly a dead
+        // VM's persistent disk) — drain it through the datacenter now.
+        edge_needs_transfer_[e] = true;
+        uploads.push_back({JobKind::edge_upload, vm_of_[edge.src], e, edge.src, edge.bytes});
+      } else {
+        // An unfinished producer uploads on completion; a queued or
+        // in-flight upload lands at the DC on its own.
+        edge_needs_transfer_[e] = true;
+      }
+    }
+  }
+}
+
+void Execution::enqueue_moved_downloads(VmId vm, const std::vector<dag::TaskId>& moved) {
+  for (dag::TaskId t : moved) {
+    if (vm_of_[t] != vm || tasks_[t].failed) continue;
+    if (wf_.external_input_of(t) > 0)
+      enqueue_job({JobKind::ext_input_download, vm, 0, t, wf_.external_input_of(t)});
+    for (dag::EdgeId e : wf_.in_edges(t)) {
+      if (!edge_needs_transfer_[e] || download_enqueued_[e]) continue;
+      if (edge_at_dc_[e] >= 0) {
+        download_enqueued_[e] = true;
+        enqueue_job({JobKind::edge_download, vm, e, t, wf_.edge(e).bytes});
+      }
+    }
+  }
+}
+
 void Execution::main_loop() {
-  while (tasks_finished_ < wf_.task_count() || fluid_.active_count() > 0) {
+  while (tasks_terminal_ < wf_.task_count() || fluid_.active_count() > 0 ||
+         pending_retries_ > 0) {
     const Seconds flow_time = fluid_.next_completion();
     const Seconds event_time = events_.empty() ? infinity : events_.top().time;
     if (flow_time == infinity && event_time == infinity) {
-      if (tasks_finished_ < wf_.task_count()) report_deadlock();
+      if (tasks_terminal_ < wf_.task_count()) report_deadlock();
       break;
     }
     if (flow_time <= event_time) {
@@ -525,6 +866,8 @@ void Execution::main_loop() {
         case Event::Kind::timeout:
           if (event.epoch == tasks_[event.task].epoch) on_timeout(event.vm, event.task);
           break;
+        case Event::Kind::crash: on_crash(event.vm); break;
+        case Event::Kind::transfer_retry: on_transfer_retry(event.job); break;
       }
     }
   }
@@ -535,7 +878,7 @@ void Execution::report_deadlock() const {
   os << "Simulator: schedule deadlocked in workflow '" << wf_.name() << "'; stuck tasks:";
   for (dag::TaskId t = 0; t < wf_.task_count(); ++t) {
     const TaskState& ts = tasks_[t];
-    if (ts.finished) continue;
+    if (ts.finished || ts.failed) continue;
     os << ' ' << wf_.task(t).name << "(remote=" << ts.remote_in_pending
        << ",local=" << ts.local_in_pending << ",dc=" << ts.dc_in_pending << ')';
   }
@@ -547,6 +890,7 @@ SimResult Execution::finalize() const {
   result.tasks = records_;
   result.vms.resize(vms_.size());
   result.migrations = migrations_;
+  result.faults = stats_;
 
   Seconds start_first = infinity;
   Seconds end_last = 0;
@@ -559,32 +903,41 @@ SimResult Execution::finalize() const {
     VmRecord& record = result.vms[v];
     record.category = plans_[v].category;
     record.task_count = state.tasks_done;
-    // Every *booked* VM bills, including one abandoned by a migration.
+    record.boot_attempts = state.boot_attempts;
+    record.crashed = state.crashed;
+    record.recovery = state.recovery_vm;
     if (state.boot == BootState::unrequested) continue;
     record.boot_request = state.boot_request;
     record.boot_done = state.boot_done;
+    // Every VM that came *up* bills, including one abandoned by a migration
+    // or killed by a crash; a provisioning that never succeeded is uncharged.
+    if (state.boot != BootState::up) continue;
     record.end = std::max(state.end, state.boot_done);
     record.busy = state.busy;
     ++result.used_vms;
     start_first = std::min(start_first, state.boot_request);
     end_last = std::max(end_last, record.end);
     const platform::VmCategory& category = platform_.category(record.category);
-    result.cost.vm_time += platform::vm_cost(category, state.boot_done, record.end,
-                                             platform_.billing_quantum()) -
-                           category.setup_cost;
+    const Dollars vm_total = platform::vm_cost(category, state.boot_done, record.end,
+                                               platform_.billing_quantum());
+    result.cost.vm_time += vm_total - category.setup_cost;
     result.cost.vm_setup += category.setup_cost;
+    if (state.recovery_vm) result.faults.recovery_cost += vm_total;
   }
-  CLOUDWF_ASSERT(result.used_vms > 0);
+  CLOUDWF_ASSERT(result.used_vms > 0 || stats_.failed_tasks > 0);
+  if (start_first == infinity) start_first = 0;  // nothing ever came up
 
   result.start_first = start_first;
   result.end_last = end_last;
   result.makespan = end_last - start_first;
 
-  const platform::CostBreakdown dc =
-      platform::datacenter_cost(platform_, wf_.external_input_bytes(),
-                                wf_.external_output_bytes(), start_first, end_last, dc_footprint);
-  result.cost.dc_time = dc.dc_time;
-  result.cost.dc_transfer = dc.dc_transfer;
+  if (result.used_vms > 0) {
+    const platform::CostBreakdown dc =
+        platform::datacenter_cost(platform_, wf_.external_input_bytes(),
+                                  wf_.external_output_bytes(), start_first, end_last, dc_footprint);
+    result.cost.dc_time = dc.dc_time;
+    result.cost.dc_transfer = dc.dc_transfer;
+  }
 
   result.transfers.count = transfers_done_;
   result.transfers.bytes = transfer_bytes_;
@@ -606,7 +959,7 @@ Simulator::Simulator(const dag::Workflow& wf, const platform::Platform& platform
 }
 
 SimResult Simulator::run(const Schedule& schedule, const dag::WeightRealization& weights) const {
-  Execution execution(wf_, platform_, schedule, weights, nullptr);
+  Execution execution(wf_, platform_, schedule, weights, nullptr, nullptr, nullptr);
   return execution.run();
 }
 
@@ -614,7 +967,17 @@ SimResult Simulator::run_online(const Schedule& schedule, const dag::WeightReali
                                 const OnlinePolicy& policy) const {
   require(policy.timeout_sigmas >= 0, "run_online: negative timeout_sigmas");
   require(policy.min_speedup >= 1.0, "run_online: min_speedup must be >= 1");
-  Execution execution(wf_, platform_, schedule, weights, &policy);
+  Execution execution(wf_, platform_, schedule, weights, &policy, nullptr, nullptr);
+  return execution.run();
+}
+
+SimResult Simulator::run_with_faults(const Schedule& schedule,
+                                     const dag::WeightRealization& weights,
+                                     const FaultModel& faults,
+                                     const RecoveryPolicy& recovery) const {
+  faults.validate();
+  recovery.validate();
+  Execution execution(wf_, platform_, schedule, weights, nullptr, &faults, &recovery);
   return execution.run();
 }
 

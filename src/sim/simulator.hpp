@@ -31,6 +31,7 @@
 #include "dag/stochastic.hpp"
 #include "dag/workflow.hpp"
 #include "platform/platform.hpp"
+#include "sim/faults.hpp"
 #include "sim/result.hpp"
 #include "sim/schedule.hpp"
 
@@ -47,8 +48,9 @@ namespace cloudwf::sim {
 /// the datacenter, including uploads of data that had been local to the old
 /// VM.  Migration is skipped when the fastest category is not at least
 /// min_speedup times faster than the current host, when the task has
-/// exhausted max_restarts, or when the projected spend would exceed
-/// budget_cap.
+/// exhausted max_restarts, or when the projected spend would not stay
+/// strictly below budget_cap (projections are estimates, so a migration that
+/// would consume the cap exactly leaves no headroom and is vetoed).
 struct OnlinePolicy {
   double timeout_sigmas = 2.0;    ///< interrupt beyond mu + k*sigma worth of compute
   std::size_t max_restarts = 1;   ///< per-task restart bound
@@ -71,6 +73,15 @@ class Simulator {
   [[nodiscard]] SimResult run_online(const Schedule& schedule,
                                      const dag::WeightRealization& weights,
                                      const OnlinePolicy& policy) const;
+
+  /// Runs \p schedule while injecting faults from \p faults and recovering
+  /// per \p recovery (see faults.hpp).  With a disabled model (all rates
+  /// zero) this is bit-identical to run().  Never throws on injected
+  /// failures: exhausted recovery marks tasks failed in the result instead.
+  [[nodiscard]] SimResult run_with_faults(const Schedule& schedule,
+                                          const dag::WeightRealization& weights,
+                                          const FaultModel& faults,
+                                          const RecoveryPolicy& recovery = {}) const;
 
   /// Convenience: run with conservative (mu + sigma) weights — the
   /// deterministic predictor used by HEFTBUDG+/CG+ (Algorithm 5).

@@ -11,7 +11,7 @@ namespace cloudwf::sim {
 void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std::ostream& out) {
   CsvWriter csv(out);
   csv.header({"task", "vm", "start", "finish", "duration", "inputs_at_dc", "bound_by",
-              "restarts"});
+              "restarts", "failed"});
   for (dag::TaskId t = 0; t < result.tasks.size(); ++t) {
     const TaskRecord& record = result.tasks[t];
     csv.field(wf.task(t).name)
@@ -22,7 +22,8 @@ void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std:
         .field(record.inputs_at_dc)
         .field(record.bound_by == dag::invalid_task ? std::string{"-"}
                                                     : wf.task(record.bound_by).name)
-        .field(record.restarts);
+        .field(record.restarts)
+        .field(record.failed ? 1 : 0);
     csv.end_row();
   }
 }
@@ -30,10 +31,14 @@ void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std:
 void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
   CsvWriter csv(out);
   csv.header({"vm", "category", "boot_request", "boot_done", "end", "busy", "tasks",
-              "utilization"});
+              "utilization", "boot_attempts", "crashed", "recovery"});
   for (VmId v = 0; v < result.vms.size(); ++v) {
     const VmRecord& record = result.vms[v];
-    if (record.task_count == 0) continue;
+    // Fault-free: exactly the VMs that ran something.  With faults, crashed,
+    // re-provisioned and recovery VMs are part of the story even when empty.
+    if (record.task_count == 0 && !record.crashed && !record.recovery &&
+        record.boot_attempts <= 1)
+      continue;
     const Seconds billed = record.end - record.boot_done;
     csv.field(static_cast<std::size_t>(v))
         .field(static_cast<std::size_t>(record.category))
@@ -42,7 +47,10 @@ void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
         .field(record.end)
         .field(record.busy)
         .field(record.task_count)
-        .field(billed > 0 ? record.busy / billed : 0.0);
+        .field(billed > 0 ? record.busy / billed : 0.0)
+        .field(record.boot_attempts)
+        .field(record.crashed ? 1 : 0)
+        .field(record.recovery ? 1 : 0);
     csv.end_row();
   }
 }
@@ -66,6 +74,18 @@ std::string result_summary_json(const SimResult& result) {
   transfers["bytes"] = result.transfers.bytes;
   transfers["peak_concurrent"] = result.transfers.peak_concurrent;
   root["transfers"] = Json(std::move(transfers));
+  root["success"] = result.success();
+  Json::Object faults;
+  faults["boot_failures"] = result.faults.boot_failures;
+  faults["crashes"] = result.faults.crashes;
+  faults["transfer_failures"] = result.faults.transfer_failures;
+  faults["transfer_aborts"] = result.faults.transfer_aborts;
+  faults["task_reexecutions"] = result.faults.task_reexecutions;
+  faults["failed_tasks"] = result.faults.failed_tasks;
+  faults["wasted_compute"] = result.faults.wasted_compute;
+  faults["recovery_cost"] = result.faults.recovery_cost;
+  faults["degraded"] = result.faults.degraded;
+  root["faults"] = Json(std::move(faults));
   return Json(std::move(root)).dump(2);
 }
 
@@ -83,6 +103,17 @@ std::string result_summary_text(const SimResult& result) {
      << "transfers     : " << result.transfers.count << " ("
      << std::setprecision(1) << result.transfers.bytes / 1e6 << " MB, peak "
      << result.transfers.peak_concurrent << " concurrent)\n";
+  const FaultStats& f = result.faults;
+  if (f.boot_failures > 0 || f.crashes > 0 || f.transfer_failures > 0 || f.failed_tasks > 0) {
+    os << "faults        : " << f.crashes << " crashes, " << f.boot_failures
+       << " boot failures, " << f.transfer_failures << " transfer failures ("
+       << f.transfer_aborts << " aborted)\n"
+       << "recovery      : " << f.task_reexecutions << " re-executions, "
+       << std::setprecision(1) << f.wasted_compute << " s wasted, $"
+       << std::setprecision(4) << f.recovery_cost << " on replacement VMs"
+       << (f.degraded ? ", degraded" : "") << '\n'
+       << "failed tasks  : " << f.failed_tasks << '\n';
+  }
   return os.str();
 }
 

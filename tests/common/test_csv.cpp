@@ -98,5 +98,72 @@ TEST(CsvFile, RejectsUnwritablePath) {
   EXPECT_THROW(CsvFile("/nonexistent-dir/file.csv"), InvalidArgument);
 }
 
+TEST(ParseCsv, BasicRows) {
+  const auto rows = parse_csv("a,b\nx,1.5\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"x", "1.5"}));
+}
+
+TEST(ParseCsv, QuotedFields) {
+  const auto rows = parse_csv("plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"plain", "with,comma", "with\"quote", "with\nnewline"}));
+}
+
+TEST(ParseCsv, CrlfAndMissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, BlankLinesSkippedButEmptyFieldsKept) {
+  const auto rows = parse_csv("a\n\n,\n\nb\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", ""}));  // lone separator = two empty fields
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"b"}));
+}
+
+TEST(ParseCsv, CustomSeparator) {
+  const auto rows = parse_csv("a;\"b;c\";d\n", ';');
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b;c", "d"}));
+}
+
+TEST(ParseCsv, UnterminatedQuoteRejected) {
+  EXPECT_THROW(parse_csv("\"never closed\n"), InvalidArgument);
+}
+
+TEST(ParseCsv, RoundTripsAdversarialFields) {
+  const std::vector<std::vector<std::string>> original{
+      {"plain", "with,comma", "with\"quote"},
+      {"multi\nline", "tab\there", ""},
+      {"\"fully quoted\"", "trailing,", "\r\nwindows"},
+  };
+  std::ostringstream os;
+  CsvWriter csv(os);
+  for (const auto& row : original) {
+    for (const auto& value : row) csv.field(value);
+    csv.end_row();
+  }
+  EXPECT_EQ(parse_csv(os.str()), original);
+}
+
+TEST(ParseCsv, RoundTripsEverySeparator) {
+  for (char sep : {',', ';', '\t', '|'}) {
+    const std::vector<std::vector<std::string>> original{
+        {std::string{sep} + "leads", "mid" + std::string{sep} + "dle", "quote\"" + std::string{sep}},
+    };
+    std::ostringstream os;
+    CsvWriter csv(os, sep);
+    for (const auto& value : original[0]) csv.field(value);
+    csv.end_row();
+    EXPECT_EQ(parse_csv(os.str(), sep), original) << "separator '" << sep << "'";
+  }
+}
+
 }  // namespace
 }  // namespace cloudwf

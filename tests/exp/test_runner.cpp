@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/csv.hpp"
 #include "common/error.hpp"
 #include "exp/campaign.hpp"
 #include "pegasus/generator.hpp"
@@ -51,6 +52,34 @@ TEST(Runner, ParallelMatchesSerialBitForBit) {
   }
 }
 
+TEST(Runner, FaultInjectionParallelMatchesSerialBitForBit) {
+  // Repetition r draws its faults from faults.for_repetition(r), so the
+  // outcome must not depend on how repetitions are spread across threads.
+  const auto wf = pegasus::generate(pegasus::WorkflowType::cybershake, {20, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  auto requests = make_matrix(wf);
+  for (RunRequest& request : requests) {
+    request.config.faults.lambda_crash = 2.0;
+    request.config.faults.p_transfer_fail = 0.05;
+    request.config.recovery.budget_cap = 3.0 * request.budget;
+  }
+
+  const auto serial = run_serial(platform, requests);
+  ThreadPool pool(4);
+  const auto parallel = run_parallel(platform, requests, pool);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].makespan.mean(), parallel[i].makespan.mean()) << i;
+    EXPECT_DOUBLE_EQ(serial[i].cost.mean(), parallel[i].cost.mean()) << i;
+    EXPECT_DOUBLE_EQ(serial[i].success_fraction, parallel[i].success_fraction) << i;
+    EXPECT_DOUBLE_EQ(serial[i].crashes_mean, parallel[i].crashes_mean) << i;
+    EXPECT_DOUBLE_EQ(serial[i].failed_tasks_mean, parallel[i].failed_tasks_mean) << i;
+    EXPECT_DOUBLE_EQ(serial[i].recovery_cost_mean, parallel[i].recovery_cost_mean) << i;
+    EXPECT_DOUBLE_EQ(serial[i].wasted_compute_mean, parallel[i].wasted_compute_mean) << i;
+  }
+}
+
 TEST(Runner, ResultsAreIndexAligned) {
   const auto wf = pegasus::generate(pegasus::WorkflowType::ligo, {22, 4, 0.5});
   const auto platform = platform::paper_platform();
@@ -80,6 +109,32 @@ TEST(Runner, CsvContainsOneRowPerRequest) {
             requests.size() + 1);  // header + rows
   EXPECT_NE(csv.find("makespan_p95"), std::string::npos);
   EXPECT_NE(csv.find("heft-budg@"), std::string::npos);
+}
+
+TEST(Runner, CsvRoundTripsThroughParser) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {15, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  auto requests = make_matrix(wf);
+  // Tags with separators, quotes and newlines must survive a write -> parse
+  // round trip (plot scripts read these files back).
+  requests[0].tag = "b=1.0, \"quick\" look";
+  requests[1].tag = "multi\nline tag";
+  const auto results = run_serial(platform, requests);
+
+  std::ostringstream os;
+  write_results_csv(os, requests, results);
+  const auto rows = parse_csv(os.str());
+
+  ASSERT_EQ(rows.size(), requests.size() + 1);
+  const std::vector<std::string>& header = rows[0];
+  EXPECT_EQ(header.size(), 24u);
+  for (const char* column : {"success_fraction", "budget_violation_fraction", "crashes_mean",
+                             "failed_tasks_mean", "recovery_cost_mean", "wasted_compute_mean"})
+    EXPECT_NE(std::find(header.begin(), header.end(), column), header.end()) << column;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(rows[i + 1].size(), header.size()) << i;
+    EXPECT_EQ(rows[i + 1][3], requests[i].tag) << i;  // tag column, unescaped
+  }
 }
 
 TEST(Runner, CsvRejectsMismatchedSpans) {

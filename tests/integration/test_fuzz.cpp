@@ -148,6 +148,86 @@ TEST_P(FuzzTest, ContentionModePreservesInvariantsAndSlowsTransfers) {
   EXPECT_GE(tight_run.makespan, free_run.makespan * 0.99);
 }
 
+/// Invariants that must survive arbitrary fault injection.  Weaker than
+/// check_invariants: failed tasks never ran to completion, so only the
+/// surviving part of the execution is constrained.
+void check_fault_invariants(const dag::Workflow& wf, const platform::Platform& platform,
+                            const sim::RecoveryPolicy& recovery, const sim::SimResult& r) {
+  std::size_t failed = 0;
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    const sim::TaskRecord& task = r.tasks[t];
+    if (task.failed) {
+      ++failed;
+      continue;
+    }
+    // Non-failed tasks ran exactly once to completion, within their bounded
+    // number of crash-induced restarts.
+    EXPECT_LT(task.start, task.finish) << wf.task(t).name;
+    EXPECT_LE(task.restarts, recovery.max_task_retries) << wf.task(t).name;
+  }
+  EXPECT_EQ(failed, r.faults.failed_tasks);
+  EXPECT_EQ(r.success(), failed == 0);
+  // Failure cascades: a consumer of a failed producer cannot have finished.
+  for (const dag::Edge& e : wf.edges()) {
+    if (r.tasks[e.src].failed) EXPECT_TRUE(r.tasks[e.dst].failed);
+    if (!r.tasks[e.src].failed && !r.tasks[e.dst].failed)
+      EXPECT_LE(r.tasks[e.src].finish, r.tasks[e.dst].start + 1e-9);
+  }
+  // Billing: every VM that came up bills at least its busy time; crashed VMs
+  // froze their billing at the crash and never resumed.
+  for (const sim::VmRecord& vm : r.vms) {
+    if (vm.boot_attempts == 0 || vm.end <= 0) continue;  // never came up
+    EXPECT_GE(vm.end, vm.boot_done - 1e-9);
+    EXPECT_LE(vm.busy,
+              (vm.end - vm.boot_done) * platform.category(vm.category).processors + 1e-6);
+  }
+  EXPECT_GE(r.faults.wasted_compute, 0.0);
+  EXPECT_GE(r.faults.recovery_cost, 0.0);
+  EXPECT_GE(r.cost.vm_time, 0.0);
+  EXPECT_NEAR(r.total_cost(),
+              r.cost.vm_time + r.cost.vm_setup + r.cost.dc_time + r.cost.dc_transfer, 1e-9);
+}
+
+TEST_P(FuzzTest, FaultInjectionInvariantsHold) {
+  Rng rng(GetParam() ^ 0xFA177ULL);
+  const auto types = pegasus::all_types();
+  const pegasus::WorkflowType type = types[rng.below(types.size())];
+  const std::size_t tasks = 12 + rng.below(30);
+  const dag::Workflow wf = pegasus::generate(type, {tasks, GetParam() * 17 + 3, 0.8});
+  const platform::Platform platform = platform::paper_platform();
+
+  const sim::Schedule schedule = random_schedule(wf, platform, rng);
+  const sim::Simulator simulator(wf, platform);
+  Rng weight_rng = rng.fork(4);
+  const dag::WeightRealization weights = dag::sample_weights(wf, weight_rng);
+
+  sim::FaultModel model;
+  model.p_boot_fail = rng.uniform(0.0, 0.3);
+  model.lambda_crash = rng.uniform(0.1, 4.0);
+  model.p_transfer_fail = rng.uniform(0.0, 0.2);
+  model.acquisition_delay = rng.uniform(0.0, 120.0);
+  model.seed = GetParam() * 31 + 7;
+  sim::RecoveryPolicy recovery;
+  if (rng.below(2) == 0) recovery.budget_cap = rng.uniform(0.5, 20.0);
+
+  const sim::SimResult r = simulator.run_with_faults(schedule, weights, model, recovery);
+  check_fault_invariants(wf, platform, recovery, r);
+
+  // Determinism: an identical rerun is bit-identical.
+  const sim::SimResult again = simulator.run_with_faults(schedule, weights, model, recovery);
+  EXPECT_DOUBLE_EQ(r.makespan, again.makespan);
+  EXPECT_DOUBLE_EQ(r.total_cost(), again.total_cost());
+  EXPECT_EQ(r.faults.crashes, again.faults.crashes);
+  EXPECT_EQ(r.faults.failed_tasks, again.faults.failed_tasks);
+  EXPECT_DOUBLE_EQ(r.faults.wasted_compute, again.faults.wasted_compute);
+
+  // A disabled model routed through run_with_faults matches the plain run.
+  const sim::SimResult plain = simulator.run(schedule, weights);
+  const sim::SimResult zero = simulator.run_with_faults(schedule, weights, sim::FaultModel{});
+  EXPECT_DOUBLE_EQ(plain.makespan, zero.makespan);
+  EXPECT_DOUBLE_EQ(plain.total_cost(), zero.total_cost());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<std::uint64_t>(1, 21));
 
 }  // namespace

@@ -109,6 +109,28 @@ TEST(Online, BudgetCapBlocksMigration) {
   EXPECT_EQ(r.migrations, 0u);
 }
 
+TEST(Online, BudgetCapExactlyAtProjectionBlocksMigration) {
+  // At the t = 210 timeout the slow VM has committed 200 s * $1 + $0.5
+  // setup = $200.5; the rescue projection adds $0.5 setup plus
+  // (mu + sigma)/2 * $2 = $150.5, totalling exactly $351.  Consuming the cap
+  // exactly leaves no headroom, so the migration must be vetoed; any strictly
+  // larger cap admits it.
+  TailScenario s;
+  const auto platform = testing::toy_platform();
+  OnlinePolicy policy;
+  policy.budget_cap = 351.0;
+  const SimResult blocked =
+      Simulator(s.wf, platform).run_online(s.schedule, s.weights, policy);
+  EXPECT_EQ(blocked.migrations, 0u);
+  EXPECT_DOUBLE_EQ(blocked.makespan, 1010.0);
+
+  policy.budget_cap = 351.0 + 1e-3;
+  const SimResult allowed =
+      Simulator(s.wf, platform).run_online(s.schedule, s.weights, policy);
+  EXPECT_EQ(allowed.migrations, 1u);
+  EXPECT_DOUBLE_EQ(allowed.makespan, 720.0);
+}
+
 TEST(Online, LocalPredecessorDataIsReStagedThroughDc) {
   dag::Workflow wf("chain");
   const auto a = wf.add_task("A", 100, 0);

@@ -10,8 +10,13 @@
 ///             [--trace-dir DIR]
 ///   simulate  <wf> --algorithm heft-budg --budget 3.0 [--reps 25] [--seed 7]
 ///             [--deadline D] [--online] [--timeout-sigmas 2]
+///             [--fault-lambda-crash 1.0] [--fault-p-boot-fail 0.05]
+///             [--fault-p-transfer-fail 0.01] [--fault-acquisition-delay 60]
+///             [--fault-seed S] [--recovery-budget-cap C]
+///             [--recovery-max-task-retries 2] [--recovery-max-boot-attempts 3]
+///             [--recovery-max-transfer-retries 3] [--recovery-transfer-backoff 1]
 ///   sweep     <wf> --algorithms minmin-budg,heft-budg,bdt,cg [--points 6]
-///             [--reps 10] [--threads N] [--csv raw.csv]
+///             [--reps 10] [--threads N] [--csv raw.csv] [--fault-* as above]
 ///   campaign  --type montage [--tasks 90] [--instances 3] [--sigma 0.5]
 ///             [--algorithms ...] [--points 6] [--reps 10] [--threads N]
 ///
@@ -98,6 +103,24 @@ platform::Platform make_platform(const cli::Args& args) {
   const double contention = args.get_double("contention", 0.0);
   return contention > 0 ? platform::paper_platform_with_contention(contention)
                         : platform::paper_platform();
+}
+
+/// Reads the --fault-* / --recovery-* knobs shared by simulate and sweep.
+void read_fault_args(const cli::Args& args, exp::EvalConfig& config) {
+  config.faults.p_boot_fail = args.get_double("fault-p-boot-fail", 0.0);
+  config.faults.lambda_crash = args.get_double("fault-lambda-crash", 0.0);
+  config.faults.p_transfer_fail = args.get_double("fault-p-transfer-fail", 0.0);
+  config.faults.acquisition_delay = args.get_double("fault-acquisition-delay", 60.0);
+  config.faults.seed = args.get_size("fault-seed", 0xFA177ULL);
+  config.recovery.budget_cap = args.has("recovery-budget-cap")
+                                   ? args.get_double("recovery-budget-cap", 0)
+                                   : std::numeric_limits<Dollars>::infinity();
+  config.recovery.max_task_retries = args.get_size("recovery-max-task-retries", 2);
+  config.recovery.max_boot_attempts = args.get_size("recovery-max-boot-attempts", 3);
+  config.recovery.max_transfer_retries = args.get_size("recovery-max-transfer-retries", 3);
+  config.recovery.transfer_backoff_base = args.get_double("recovery-transfer-backoff", 1.0);
+  config.faults.validate();
+  config.recovery.validate();
 }
 
 int cmd_generate(const cli::Args& args) {
@@ -225,6 +248,7 @@ int cmd_simulate(const cli::Args& args) {
   config.repetitions = args.get_size("reps", 25);
   config.seed = args.get_size("seed", 7);
   config.deadline = args.get_double("deadline", 0);
+  read_fault_args(args, config);
   const exp::EvalResult r = exp::evaluate_schedule(wf, cloud, out, algorithm, budget, config);
 
   TablePrinter table(algorithm + " on " + wf.name() + " — " +
@@ -241,6 +265,14 @@ int cmd_simulate(const cli::Args& args) {
     table.row({"objective (Eq. 3) met", TablePrinter::num(100 * r.objective_fraction, 1) + "%"});
   }
   table.row({"VMs", std::to_string(r.used_vms)});
+  if (config.faults.enabled()) {
+    table.row({"success (no failed tasks)",
+               TablePrinter::num(100 * r.success_fraction, 1) + "%"});
+    table.row({"crashes / run", TablePrinter::num(r.crashes_mean, 2)});
+    table.row({"failed tasks / run", TablePrinter::num(r.failed_tasks_mean, 2)});
+    table.row({"recovery cost ($/run)", TablePrinter::num(r.recovery_cost_mean, 4)});
+    table.row({"wasted compute (s/run)", TablePrinter::num(r.wasted_compute_mean, 1)});
+  }
   table.print(std::cout);
   return 0;
 }
@@ -266,6 +298,7 @@ int cmd_sweep(const cli::Args& args) {
       request.budget = budgets[b];
       request.config.repetitions = reps;
       request.config.seed = args.get_size("seed", 7);
+      read_fault_args(args, request.config);
       request.tag = "b" + std::to_string(b);
       requests.push_back(std::move(request));
     }
