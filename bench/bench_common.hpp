@@ -10,6 +10,7 @@
 ///   (default)     — trimmed scale, minutes on a laptop
 ///   CLOUDWF_FULL  — paper scale (5 instances, 25 reps, 8 budgets, 90 tasks)
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -60,6 +61,13 @@ inline void run_figure_row(const std::string& figure, pegasus::WorkflowType type
   exp::CampaignConfig config = figure_config(type, algorithms, heavy);
   config.low_budget_factor = low_budget_factor;
   config.high_budget_cap_factor = high_budget_cap_factor;
+  // CLOUDWF_CHECKPOINT_DIR makes long figure regenerations crash-safe:
+  // every finished cell is journaled there and a re-run of the binary
+  // resumes instead of recomputing (tables stay byte-identical).
+  if (const char* dir = std::getenv("CLOUDWF_CHECKPOINT_DIR"); dir != nullptr && *dir != '\0') {
+    config.checkpoint_dir = dir;
+    config.resume = true;
+  }
   const platform::Platform platform = platform::paper_platform();
   const exp::CampaignResult result = exp::run_campaign(platform, config);
   for (const auto& [metric, label] : metrics) {

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test of the campaign checkpoint journal.
+#
+# Runs a reference campaign to completion, then the same campaign with a
+# checkpoint directory, SIGTERMs it roughly half-way through the journal,
+# resumes with --resume, and asserts the resumed stdout is byte-identical
+# to the uninterrupted reference.
+#
+# Usage: kill_resume_smoke.sh <path-to-cloudwf-binary> <work-dir>
+set -u -o pipefail
+
+CLI=${1:?usage: kill_resume_smoke.sh <cloudwf-binary> <work-dir>}
+WORK=${2:?usage: kill_resume_smoke.sh <cloudwf-binary> <work-dir>}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# heft-budg-plus (the refinement variant) takes ~0.5 s per cell at 90
+# tasks, wide enough for the SIGTERM to land mid-campaign.
+CAMPAIGN=(campaign --type montage --tasks 90 --instances 2 --points 4 --reps 10
+          --algorithms heft-budg-plus --seed 7)
+TOTAL_CELLS=8  # instances x points x algorithms
+CKPT="$WORK/ckpt"
+
+echo "== reference run (no checkpoint) =="
+"$CLI" "${CAMPAIGN[@]}" >"$WORK/reference.out" || { echo "reference run failed"; exit 1; }
+
+echo "== interrupted run (checkpoint: $CKPT) =="
+"$CLI" "${CAMPAIGN[@]}" --checkpoint-dir "$CKPT" \
+    >"$WORK/interrupted.out" 2>"$WORK/interrupted.err" &
+PID=$!
+
+# Wait for roughly half of the cells to land in the journal, then SIGTERM.
+# The handler is cooperative: the run finishes its current cell, fsyncs the
+# journal, and exits 130.  Tolerate the race where the run wins.
+KILLED=0
+for _ in $(seq 1 600); do
+  if ! kill -0 "$PID" 2>/dev/null; then break; fi
+  # wc prints 0 even when cat finds no journal yet
+  LINES=$(cat "$CKPT"/campaign-*.jsonl 2>/dev/null | wc -l)
+  if [ "$LINES" -ge $((TOTAL_CELLS / 2)) ]; then
+    kill -TERM "$PID" 2>/dev/null && KILLED=1
+    break
+  fi
+  sleep 0.1
+done
+wait "$PID"
+STATUS=$?
+if [ "$KILLED" -eq 1 ] && [ "$STATUS" -ne 130 ] && [ "$STATUS" -ne 0 ]; then
+  echo "interrupted run exited with unexpected status $STATUS"
+  exit 1
+fi
+echo "killed=$KILLED exit=$STATUS journal lines: $(cat "$CKPT"/campaign-*.jsonl | wc -l)"
+
+echo "== resumed run =="
+"$CLI" "${CAMPAIGN[@]}" --checkpoint-dir "$CKPT" --resume \
+    >"$WORK/resumed.out" 2>"$WORK/resumed.err" || { echo "resumed run failed"; exit 1; }
+grep -q "checkpoint journal" "$WORK/resumed.err" || {
+  echo "resumed run did not report the checkpoint journal on stderr"
+  exit 1
+}
+
+if ! diff -u "$WORK/reference.out" "$WORK/resumed.out"; then
+  echo "FAIL: resumed campaign output differs from the uninterrupted reference"
+  exit 1
+fi
+echo "PASS: resumed output is byte-identical to the reference"

@@ -57,11 +57,21 @@ def main():
     )
 
     series = defaultdict(list)  # algorithm -> [(budget, value, err)]
+    degraded = 0
     for row in rows:
+        # Degraded cells (watchdog timeouts, evaluation errors) carry nan
+        # sample statistics; count them instead of plotting holes.
+        if row.get("status", "ok") != "ok":
+            degraded += 1
+            continue
         err = float(row[stddev_column]) if stddev_column else 0.0
         series[row["algorithm"]].append(
             (float(row["budget"]), float(row[args.metric]), err)
         )
+    if degraded:
+        print(f"plot_results.py: skipped {degraded} degraded row(s)", file=sys.stderr)
+    if not series:
+        sys.exit("plot_results.py: no ok rows to plot")
 
     figure, axis = plt.subplots(figsize=(7, 4.5))
     for algorithm in sorted(series):

@@ -1,0 +1,90 @@
+#include "common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cloudwf {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// fsyncs \p path (a file or directory).  Best-effort on platforms without
+/// POSIX fds; failure to sync a directory is ignored (some filesystems
+/// reject O_RDONLY directory syncs) but file syncs are fatal.
+void fsync_path(const std::string& path, bool required) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (required) io_fail("AtomicFile: cannot open for fsync", path);
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && required) io_fail("AtomicFile: fsync failed for", path);
+#else
+  (void)path;
+  (void)required;
+#endif
+}
+
+std::string make_temp_path(const std::string& path) {
+  // A sibling in the same directory so the final rename never crosses a
+  // filesystem boundary.  The pid keeps concurrent processes that target
+  // the same file from trampling each other's temporaries.
+#ifndef _WIN32
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), temp_path_(make_temp_path(path_)) {
+  stream_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  if (!stream_.good())
+    throw IoError("AtomicFile: cannot create temporary '" + temp_path_ + "' for '" + path_ +
+                  "'");
+}
+
+AtomicFile::~AtomicFile() {
+  if (committed_) return;
+  stream_.close();
+  std::error_code ignored;
+  std::filesystem::remove(temp_path_, ignored);
+}
+
+void AtomicFile::commit() {
+  if (committed_) throw IoError("AtomicFile: already committed '" + path_ + "'");
+  stream_.flush();
+  if (!stream_.good()) io_fail("AtomicFile: write failed for", temp_path_);
+  stream_.close();
+  fsync_path(temp_path_, /*required=*/true);
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0)
+    io_fail("AtomicFile: rename to", path_);
+  committed_ = true;
+  const std::string dir = std::filesystem::path(path_).parent_path().string();
+  fsync_path(dir.empty() ? "." : dir, /*required=*/false);
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  AtomicFile file(path);
+  file.stream().write(content.data(), static_cast<std::streamsize>(content.size()));
+  file.commit();
+}
+
+}  // namespace cloudwf

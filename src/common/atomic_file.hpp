@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// \brief Crash-safe file replacement: write-temp -> fsync -> rename.
+///
+/// Every result artifact cloudwf writes (CSV tables, JSON summaries, SVG
+/// gantts) is produced by long-running campaigns; a crash or SIGKILL in the
+/// middle of a plain ofstream write leaves a torn half-file that silently
+/// poisons downstream plotting.  AtomicFile writes to a sibling temporary
+/// file and only moves it over the destination once the content is complete
+/// and durable, so readers observe either the old file or the new one —
+/// never a prefix.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cloudwf {
+
+/// Buffered writer whose content becomes visible at \p path only on
+/// commit().  Destruction without commit discards the temporary file and
+/// leaves any pre-existing destination untouched.
+class AtomicFile {
+ public:
+  /// Prepares a temporary sibling of \p path; throws IoError when the
+  /// temporary cannot be created (e.g. the directory does not exist).
+  explicit AtomicFile(std::string path);
+
+  /// Discards the temporary when commit() was never called.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// The stream to write content into.
+  [[nodiscard]] std::ostream& stream() { return stream_; }
+
+  /// Target path the content will appear at.
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Flushes, fsyncs and atomically renames the temporary over \p path,
+  /// then fsyncs the containing directory so the rename itself is durable.
+  /// Throws IoError on any failure; may be called at most once.
+  void commit();
+
+  [[nodiscard]] bool committed() const { return committed_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream stream_;
+  bool committed_ = false;
+};
+
+/// One-shot helper: atomically replaces \p path with \p content.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace cloudwf

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <exception>
 
 #include "common/error.hpp"
 
@@ -152,8 +153,22 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text, char sepa
   return rows;
 }
 
-CsvFile::CsvFile(const std::string& path) : stream_(path), writer_(stream_) {
-  require(stream_.good(), "CsvFile: cannot open " + path);
+CsvFile::CsvFile(const std::string& path) : file_(path), writer_(file_.stream()) {}
+
+CsvFile::~CsvFile() {
+  if (file_.committed()) return;
+  // Commit only on normal scope exit: if the writer's scope is unwinding
+  // from an exception the content is incomplete and must be discarded.
+  if (std::uncaught_exceptions() == 0) {
+    try {
+      file_.commit();
+    } catch (...) {  // a destructor must not throw; the temp is discarded
+    }
+  }
+}
+
+void CsvFile::commit() {
+  if (!file_.committed()) file_.commit();
 }
 
 }  // namespace cloudwf

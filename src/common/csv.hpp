@@ -3,12 +3,13 @@
 /// \file csv.hpp
 /// \brief Minimal RFC-4180-style CSV writing for experiment outputs.
 
-#include <fstream>
 #include <initializer_list>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/atomic_file.hpp"
 
 namespace cloudwf {
 
@@ -56,14 +57,25 @@ class CsvWriter {
                                                               char separator = ',');
 
 /// Convenience owner that writes a CSV file on disk.
+///
+/// Content is staged through AtomicFile and atomically renamed into place
+/// by commit() (or the destructor), so a crash mid-campaign never leaves a
+/// torn CSV behind.
 class CsvFile {
  public:
   explicit CsvFile(const std::string& path);
 
+  /// Commits on destruction unless commit() already ran or the stack is
+  /// unwinding from an exception (then the temporary is discarded).
+  ~CsvFile();
+
   [[nodiscard]] CsvWriter& writer() { return writer_; }
 
+  /// Publishes the file at its destination path; idempotent.
+  void commit();
+
  private:
-  std::ofstream stream_;
+  AtomicFile file_;
   CsvWriter writer_;
 };
 

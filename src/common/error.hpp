@@ -40,6 +40,79 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// A filesystem or serialization operation failed (open/write/fsync/rename).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A per-run watchdog deadline expired before the evaluation finished.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// The harness was asked to stop (SIGINT/SIGTERM); completed work is
+/// already journaled, in-flight work is abandoned.  Never captured into a
+/// degraded result cell — it always propagates to the caller.
+class Interrupted : public Error {
+ public:
+  explicit Interrupted(const std::string& what) : Error(what) {}
+};
+
+/// Coarse error taxonomy recorded with degraded experiment cells so sweeps
+/// can report *why* a cell failed without carrying exception objects across
+/// serialization boundaries (CSV columns, checkpoint journals).
+enum class ErrorKind {
+  none,              ///< no error: the run completed
+  invalid_argument,  ///< precondition violation (e.g. unknown algorithm)
+  validation,        ///< structural validation failure
+  internal,          ///< cloudwf invariant violation (a bug)
+  io,                ///< filesystem/serialization failure
+  timeout,           ///< watchdog deadline expired
+  interrupted,       ///< operator-requested stop
+  system,            ///< non-cloudwf std::exception (bad_alloc, ...)
+  unknown,           ///< unrecognized kind (e.g. from a newer journal)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::none: return "none";
+    case ErrorKind::invalid_argument: return "invalid_argument";
+    case ErrorKind::validation: return "validation";
+    case ErrorKind::internal: return "internal";
+    case ErrorKind::io: return "io";
+    case ErrorKind::timeout: return "timeout";
+    case ErrorKind::interrupted: return "interrupted";
+    case ErrorKind::system: return "system";
+    case ErrorKind::unknown: return "unknown";
+  }
+  return "unknown";
+}
+
+/// Inverse of to_string(ErrorKind); unrecognized names map to unknown.
+[[nodiscard]] constexpr ErrorKind parse_error_kind(std::string_view name) {
+  for (const ErrorKind kind :
+       {ErrorKind::none, ErrorKind::invalid_argument, ErrorKind::validation,
+        ErrorKind::internal, ErrorKind::io, ErrorKind::timeout, ErrorKind::interrupted,
+        ErrorKind::system}) {
+    if (name == to_string(kind)) return kind;
+  }
+  return ErrorKind::unknown;
+}
+
+/// Maps a caught exception onto the taxonomy (most specific type wins).
+[[nodiscard]] inline ErrorKind classify_error(const std::exception& error) {
+  if (dynamic_cast<const TimeoutError*>(&error)) return ErrorKind::timeout;
+  if (dynamic_cast<const Interrupted*>(&error)) return ErrorKind::interrupted;
+  if (dynamic_cast<const IoError*>(&error)) return ErrorKind::io;
+  if (dynamic_cast<const InvalidArgument*>(&error)) return ErrorKind::invalid_argument;
+  if (dynamic_cast<const ValidationError*>(&error)) return ErrorKind::validation;
+  if (dynamic_cast<const InternalError*>(&error)) return ErrorKind::internal;
+  if (dynamic_cast<const Error*>(&error)) return ErrorKind::unknown;
+  return ErrorKind::system;
+}
+
 namespace detail {
 
 [[noreturn]] inline void assert_fail(std::string_view expr, std::string_view msg,

@@ -2,14 +2,64 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <ostream>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "dag/stochastic.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/runner.hpp"
 
 namespace cloudwf::exp {
+
+namespace {
+
+/// Hash of every result-affecting campaign parameter (threads and the
+/// checkpoint knobs are deliberately excluded: they do not change the
+/// numbers).  Names the journal file, and salts request fingerprints so a
+/// journal can never be replayed against a different configuration.
+std::uint64_t campaign_config_hash(const CampaignConfig& config) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  const auto mix = [&hash](std::uint64_t v) {
+    for (std::size_t i = 0; i < sizeof v; ++i, v >>= 8) {
+      hash ^= v & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  };
+  const auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(config.type));
+  mix(config.tasks);
+  mix(config.instances);
+  mix_double(config.sigma_ratio);
+  mix(config.budget_points);
+  mix(config.repetitions);
+  mix(config.seed);
+  mix_double(config.low_budget_factor);
+  mix_double(config.high_budget_cap_factor);
+  mix(config.algorithms.size());
+  for (const std::string& algorithm : config.algorithms) {
+    for (const char c : algorithm) mix(static_cast<unsigned char>(c));
+    mix(0x1F);  // separator: {"a","bc"} != {"ab","c"}
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+  return out;
+}
+
+}  // namespace
 
 bool quick_mode() {
   const char* value = std::getenv("CLOUDWF_QUICK");
@@ -34,6 +84,9 @@ CampaignResult run_campaign(const platform::Platform& platform, const CampaignCo
   require(config.instances >= 1, "run_campaign: need at least one instance");
   require(config.budget_points >= 2, "run_campaign: need at least two budget points");
   require(config.low_budget_factor > 0, "run_campaign: low_budget_factor must be positive");
+  require(config.run_timeout >= 0, "run_campaign: run_timeout must be non-negative");
+  require(!config.resume || !config.checkpoint_dir.empty(),
+          "run_campaign: resume requires a checkpoint_dir");
 
   CampaignResult result;
   result.config = config;
@@ -62,7 +115,9 @@ CampaignResult run_campaign(const platform::Platform& platform, const CampaignCo
     for (std::size_t b = 0; b < config.budget_points; ++b) budget_acc[b].add(sweeps.back()[b]);
   }
 
-  // Phase 2: the evaluation matrix, optionally across a thread pool.
+  // Phase 2: the evaluation matrix, optionally across a thread pool.  The
+  // tag pins each request to its (instance, budget-index) cell so journal
+  // fingerprints are unique across the matrix.
   std::vector<RunRequest> requests;
   requests.reserve(config.instances * config.budget_points * config.algorithms.size());
   for (std::size_t inst = 0; inst < config.instances; ++inst) {
@@ -75,25 +130,52 @@ CampaignResult run_campaign(const platform::Platform& platform, const CampaignCo
         request.config.repetitions = config.repetitions;
         request.config.seed = config.seed * 1000003 + inst * 101 + b;
         request.config.measure_cpu_time = true;
+        request.tag = "inst=" + std::to_string(inst) + ";b=" + std::to_string(b);
         requests.push_back(std::move(request));
       }
     }
   }
-  std::vector<EvalResult> results;
-  if (config.threads == 1) {
-    results = run_serial(platform, requests);
-  } else {
-    ThreadPool pool(config.threads);
-    results = run_parallel(platform, requests, pool);
+
+  RunPolicy policy;
+  policy.run_timeout = config.run_timeout;
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!config.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(config.checkpoint_dir);
+    policy.fingerprint_salt = campaign_config_hash(config);
+    const std::filesystem::path path =
+        std::filesystem::path(config.checkpoint_dir) /
+        ("campaign-" + std::string(pegasus::to_string(config.type)) + "-" +
+         hash_hex(policy.fingerprint_salt) + ".jsonl");
+    journal = std::make_unique<CheckpointJournal>(path.string(), config.resume);
+    policy.journal = journal.get();
+    result.journal_path = path.string();
   }
 
-  // Phase 3: aggregation (deterministic request order).
+  std::vector<EvalResult> results;
+  if (config.threads == 1) {
+    results = run_serial(platform, requests, policy);
+  } else {
+    ThreadPool pool(config.threads);
+    results = run_parallel(platform, requests, pool, policy);
+  }
+  // Phase 3: aggregation (deterministic request order).  Degraded cells
+  // carry no sample data; they are counted, not averaged.
   std::size_t index = 0;
   for (std::size_t inst = 0; inst < config.instances; ++inst) {
     for (std::size_t b = 0; b < config.budget_points; ++b) {
       for (std::size_t a = 0; a < config.algorithms.size(); ++a, ++index) {
         const EvalResult& point = results[index];
         CampaignCell& cell = result.cells[a][b];
+        if (!point.ok()) {
+          if (point.status == RunStatus::timed_out) {
+            ++cell.timed_out;
+            ++result.timed_out_cells;
+          } else {
+            ++cell.errored;
+            ++result.errored_cells;
+          }
+          continue;
+        }
         cell.makespan.add(point.makespan.mean());
         cell.cost.add(point.cost.mean());
         cell.used_vms.add(static_cast<double>(point.used_vms));
@@ -102,6 +184,12 @@ CampaignResult run_campaign(const platform::Platform& platform, const CampaignCo
       }
     }
   }
+
+  // Fresh completions were recorded, degraded cells never enter the
+  // journal — everything else was replayed from a previous run.
+  if (journal)
+    result.replayed_cells = requests.size() - journal->recorded() - result.timed_out_cells -
+                            result.errored_cells;
 
   for (std::size_t b = 0; b < config.budget_points; ++b)
     result.mean_budgets[b] = budget_acc[b].mean();
@@ -128,13 +216,24 @@ void print_campaign_table(std::ostream& out, const CampaignResult& result,
   for (std::size_t b = 0; b < result.mean_budgets.size(); ++b) {
     std::vector<std::string> cells{TablePrinter::num(result.mean_budgets[b], 4)};
     for (std::size_t a = 0; a < result.config.algorithms.size(); ++a) {
-      const Accumulator& acc = pick(result.cells[a][b]);
+      const CampaignCell& cell = result.cells[a][b];
+      const Accumulator& acc = pick(cell);
       const int precision = metric == "cost" ? 4 : 2;
-      cells.push_back(TablePrinter::pm(acc.mean(), acc.stddev(), precision));
+      // A degraded instance leaves the cell with fewer (possibly zero)
+      // observations; mark it so the table never silently averages less
+      // data than the clean cells.
+      std::string text = acc.count() == 0
+                             ? std::string("n/a")
+                             : TablePrinter::pm(acc.mean(), acc.stddev(), precision);
+      if (cell.degraded() > 0) text += " [-" + std::to_string(cell.degraded()) + "]";
+      cells.push_back(std::move(text));
     }
     table.row(std::move(cells));
   }
   table.print(out);
+  if (result.timed_out_cells + result.errored_cells > 0)
+    out << "degraded cells excluded from aggregates: " << result.timed_out_cells
+        << " timed_out, " << result.errored_cells << " errored\n";
   if (metric == "makespan")
     out << "min_cost reference (all tasks on one cheapest VM): $"
         << TablePrinter::num(result.min_cost.mean(), 4) << "\n";

@@ -49,18 +49,35 @@ struct CampaignConfig {
   /// (per-point seeding); only the sched_time metric gets noisier under
   /// contention.
   std::size_t threads = 1;
+  /// When non-empty, every completed cell is journaled to
+  /// `<checkpoint_dir>/campaign-<family>-<confighash>.jsonl` the moment it
+  /// finishes (append + fsync), making the campaign crash-safe.
+  std::string checkpoint_dir;
+  /// With a checkpoint_dir, replay journaled cells from a previous
+  /// (interrupted) run bit-identically instead of starting fresh.
+  bool resume = false;
+  /// Per-cell wall-clock watchdog (seconds); 0 disables it.  A cell whose
+  /// evaluation exceeds this becomes a `timed_out` degraded cell instead
+  /// of hanging the sweep (see EvalConfig::run_timeout for granularity).
+  Seconds run_timeout = 0;
 
   /// Applies the CLOUDWF_QUICK scaling (if the env var is set).
   void apply_quick_mode();
 };
 
 /// Cross-instance aggregate of one (algorithm, budget-index) cell.
+/// Degraded per-instance results (watchdog timeouts, evaluation errors)
+/// are excluded from the accumulators and counted instead, so a single
+/// bad instance degrades one cell rather than aborting the campaign.
 struct CampaignCell {
   Accumulator makespan;   ///< mean execution makespan per instance
   Accumulator cost;       ///< mean actual cost per instance
   Accumulator used_vms;   ///< schedule VM count per instance
   Accumulator valid;      ///< valid fraction per instance
   Accumulator sched_time; ///< scheduler CPU seconds per instance
+  std::size_t timed_out = 0;  ///< instances lost to the watchdog
+  std::size_t errored = 0;    ///< instances lost to an exception
+  [[nodiscard]] std::size_t degraded() const { return timed_out + errored; }
 };
 
 /// All series of one campaign.
@@ -70,6 +87,10 @@ struct CampaignResult {
   /// cells[a][b]: algorithm a at budget index b.
   std::vector<std::vector<CampaignCell>> cells;
   Accumulator min_cost;  ///< per-instance cheapest-execution cost
+  std::size_t timed_out_cells = 0;  ///< degraded (request, instance) evaluations
+  std::size_t errored_cells = 0;    ///< ditto, for thrown exceptions
+  std::size_t replayed_cells = 0;   ///< cells served from the checkpoint journal
+  std::string journal_path;         ///< checkpoint journal (empty when disabled)
 };
 
 /// Runs the campaign (single-threaded; bench binaries parallelize by

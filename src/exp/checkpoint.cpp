@@ -1,0 +1,213 @@
+#include "exp/checkpoint.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cloudwf::exp {
+
+namespace {
+
+Json summary_to_json(const Summary& summary) {
+  Json::Array values;
+  values.reserve(summary.count());
+  for (const double v : summary.values()) values.emplace_back(v);
+  return {std::move(values)};
+}
+
+Summary summary_from_json(const Json& json) {
+  std::vector<double> values;
+  values.reserve(json.as_array().size());
+  for (const Json& v : json.as_array()) values.push_back(v.as_number());
+  return Summary(std::move(values));
+}
+
+/// FNV-1a 64-bit, fed field-by-field with a separator so adjacent fields
+/// cannot alias ("ab"+"c" vs "a"+"bc").
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+    hash_ ^= 0x1F;  // field separator
+    hash_ *= 0x100000001B3ULL;
+  }
+  void str(std::string_view s) { bytes(s.data(), s.size()); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+  return out;
+}
+
+}  // namespace
+
+Json eval_result_to_json(const EvalResult& r) {
+  Json::Object o;
+  o["algorithm"] = r.algorithm;
+  o["budget"] = r.budget;
+  o["status"] = std::string(to_string(r.status));
+  o["error_kind"] = std::string(to_string(r.error_kind));
+  o["error_message"] = r.error_message;
+  o["predicted_makespan"] = r.predicted_makespan;
+  o["predicted_cost"] = r.predicted_cost;
+  o["predicted_feasible"] = r.predicted_feasible;
+  o["used_vms"] = r.used_vms;
+  o["makespan"] = summary_to_json(r.makespan);
+  o["cost"] = summary_to_json(r.cost);
+  o["valid_fraction"] = r.valid_fraction;
+  o["deadline_fraction"] = r.deadline_fraction;
+  o["objective_fraction"] = r.objective_fraction;
+  o["success_fraction"] = r.success_fraction;
+  o["crashes_mean"] = r.crashes_mean;
+  o["failed_tasks_mean"] = r.failed_tasks_mean;
+  o["recovery_cost_mean"] = r.recovery_cost_mean;
+  o["wasted_compute_mean"] = r.wasted_compute_mean;
+  o["schedule_seconds"] = r.schedule_seconds;
+  return {std::move(o)};
+}
+
+EvalResult eval_result_from_json(const Json& json) {
+  EvalResult r;
+  r.algorithm = json.at("algorithm").as_string();
+  r.budget = json.at("budget").as_number();
+  r.status = parse_run_status(json.at("status").as_string());
+  r.error_kind = parse_error_kind(json.at("error_kind").as_string());
+  r.error_message = json.at("error_message").as_string();
+  r.predicted_makespan = json.at("predicted_makespan").as_number();
+  r.predicted_cost = json.at("predicted_cost").as_number();
+  r.predicted_feasible = json.at("predicted_feasible").as_bool();
+  r.used_vms = static_cast<std::size_t>(json.at("used_vms").as_number());
+  r.makespan = summary_from_json(json.at("makespan"));
+  r.cost = summary_from_json(json.at("cost"));
+  r.valid_fraction = json.at("valid_fraction").as_number();
+  r.deadline_fraction = json.at("deadline_fraction").as_number();
+  r.objective_fraction = json.at("objective_fraction").as_number();
+  r.success_fraction = json.at("success_fraction").as_number();
+  r.crashes_mean = json.at("crashes_mean").as_number();
+  r.failed_tasks_mean = json.at("failed_tasks_mean").as_number();
+  r.recovery_cost_mean = json.at("recovery_cost_mean").as_number();
+  r.wasted_compute_mean = json.at("wasted_compute_mean").as_number();
+  r.schedule_seconds = json.at("schedule_seconds").as_number();
+  return r;
+}
+
+std::string fingerprint_request(const RunRequest& request, std::uint64_t salt) {
+  require(request.wf != nullptr, "fingerprint_request: request without a workflow");
+  Fnv1a h;
+  h.u64(salt);
+  h.str(request.wf->name());
+  h.u64(request.wf->task_count());
+  h.str(request.algorithm);
+  h.f64(request.budget);
+  h.str(request.tag);
+  const EvalConfig& c = request.config;
+  h.u64(c.repetitions);
+  h.u64(c.seed);
+  h.f64(c.deadline);
+  h.f64(c.faults.p_boot_fail);
+  h.f64(c.faults.lambda_crash);
+  h.f64(c.faults.p_transfer_fail);
+  h.f64(c.faults.acquisition_delay);
+  h.u64(c.faults.seed);
+  h.u64(c.recovery.max_boot_attempts);
+  h.u64(c.recovery.max_task_retries);
+  h.u64(c.recovery.max_transfer_retries);
+  h.f64(c.recovery.transfer_backoff_base);
+  h.f64(c.recovery.budget_cap);
+  return hex64(h.value());
+}
+
+CheckpointJournal::CheckpointJournal(std::string path, bool resume)
+    : path_(std::move(path)) {
+  if (resume) {
+    // Load whatever complete records exist; a torn trailing line (the
+    // signature of a mid-append kill) or any other unparseable/incomplete
+    // line is skipped and its cell recomputed.
+    std::ifstream in(path_, std::ios::binary);
+    if (in.good()) {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        try {
+          const Json record = Json::parse(line);
+          cache_.insert_or_assign(record.at("fp").as_string(),
+                                  eval_result_from_json(record.at("result")));
+        } catch (const Error&) {
+          ++skipped_lines_;
+        }
+      }
+    }
+  }
+#ifndef _WIN32
+  const int flags = O_WRONLY | O_CREAT | O_CLOEXEC | (resume ? O_APPEND : O_TRUNC);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0)
+    throw IoError("CheckpointJournal: cannot open '" + path_ + "': " + std::strerror(errno));
+#else
+  throw IoError("CheckpointJournal: not supported on this platform");
+#endif
+}
+
+CheckpointJournal::~CheckpointJournal() {
+#ifndef _WIN32
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+const EvalResult* CheckpointJournal::find(const std::string& fingerprint) const {
+  const auto it = cache_.find(fingerprint);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void CheckpointJournal::record(const std::string& fingerprint, const EvalResult& result) {
+  Json::Object record;
+  record["fp"] = fingerprint;
+  record["result"] = eval_result_to_json(result);
+  const std::string line = Json(std::move(record)).dump() + "\n";
+#ifndef _WIN32
+  const std::lock_guard lock(append_mutex_);
+  // One O_APPEND write per record keeps lines contiguous even if another
+  // process shares the journal; fsync makes the cell durable before the
+  // runner moves on — a SIGKILL can only ever cost the in-flight cell.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ::ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("CheckpointJournal: write failed for '" + path_ +
+                    "': " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0)
+    throw IoError("CheckpointJournal: fsync failed for '" + path_ +
+                  "': " + std::strerror(errno));
+  ++recorded_;
+#else
+  (void)fingerprint;
+  (void)result;
+#endif
+}
+
+}  // namespace cloudwf::exp

@@ -1,6 +1,8 @@
 #include "exp/evaluate.hpp"
 
 #include <chrono>
+#include <optional>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -10,24 +12,32 @@
 
 namespace cloudwf::exp {
 
-EvalResult evaluate(const dag::Workflow& wf, const platform::Platform& platform,
-                    std::string_view algorithm, Dollars budget, const EvalConfig& config) {
-  const auto scheduler = sched::make_scheduler(algorithm);
-  const sched::SchedulerInput input{wf, platform, budget};
+namespace {
 
-  const auto t0 = std::chrono::steady_clock::now();
-  const sched::SchedulerOutput output = scheduler->schedule(input);
-  const auto t1 = std::chrono::steady_clock::now();
+using Clock = std::chrono::steady_clock;
+using Deadline = std::optional<Clock::time_point>;
 
-  EvalResult result = evaluate_schedule(wf, platform, output, algorithm, budget, config);
-  if (config.measure_cpu_time)
-    result.schedule_seconds = std::chrono::duration<double>(t1 - t0).count();
-  return result;
+Deadline make_deadline(const EvalConfig& config, Clock::time_point start) {
+  require(config.run_timeout >= 0, "evaluate: run_timeout must be non-negative");
+  if (config.run_timeout <= 0) return std::nullopt;
+  return start + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(config.run_timeout));
 }
 
-EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& platform,
-                             const sched::SchedulerOutput& output, std::string_view algorithm,
-                             Dollars budget, const EvalConfig& config) {
+void check_deadline(const Deadline& deadline, std::string_view algorithm,
+                    std::string_view stage, const EvalConfig& config) {
+  if (!deadline || Clock::now() <= *deadline) return;
+  std::ostringstream os;
+  os << "evaluate: watchdog deadline of " << config.run_timeout << " s expired during "
+     << stage << " of '" << algorithm << "'";
+  throw TimeoutError(os.str());
+}
+
+EvalResult evaluate_schedule_until(const dag::Workflow& wf,
+                                   const platform::Platform& platform,
+                                   const sched::SchedulerOutput& output,
+                                   std::string_view algorithm, Dollars budget,
+                                   const EvalConfig& config, const Deadline& deadline) {
   require(config.repetitions > 0, "evaluate: repetitions must be positive");
 
   EvalResult result;
@@ -50,6 +60,7 @@ EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& 
   Dollars recovery_cost = 0;
   Seconds wasted = 0;
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    check_deadline(deadline, algorithm, "repetition " + std::to_string(rep), config);
     Rng stream = base.fork(rep);
     const dag::WeightRealization weights = dag::sample_weights(wf, stream);
     const sim::SimResult run =
@@ -82,6 +93,33 @@ EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& 
   result.recovery_cost_mean = recovery_cost / static_cast<double>(config.repetitions);
   result.wasted_compute_mean = wasted / static_cast<double>(config.repetitions);
   return result;
+}
+
+}  // namespace
+
+EvalResult evaluate(const dag::Workflow& wf, const platform::Platform& platform,
+                    std::string_view algorithm, Dollars budget, const EvalConfig& config) {
+  const auto scheduler = sched::make_scheduler(algorithm);
+  const sched::SchedulerInput input{wf, platform, budget};
+
+  const auto t0 = Clock::now();
+  const Deadline deadline = make_deadline(config, t0);
+  const sched::SchedulerOutput output = scheduler->schedule(input);
+  const auto t1 = Clock::now();
+  check_deadline(deadline, algorithm, "scheduling", config);
+
+  EvalResult result =
+      evaluate_schedule_until(wf, platform, output, algorithm, budget, config, deadline);
+  if (config.measure_cpu_time)
+    result.schedule_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+EvalResult evaluate_schedule(const dag::Workflow& wf, const platform::Platform& platform,
+                             const sched::SchedulerOutput& output, std::string_view algorithm,
+                             Dollars budget, const EvalConfig& config) {
+  return evaluate_schedule_until(wf, platform, output, algorithm, budget, config,
+                                 make_deadline(config, Clock::now()));
 }
 
 }  // namespace cloudwf::exp

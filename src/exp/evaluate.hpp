@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "dag/workflow.hpp"
@@ -32,12 +33,51 @@ struct EvalConfig {
   /// under run_serial and run_parallel.
   sim::FaultModel faults;
   sim::RecoveryPolicy recovery;  ///< used only when faults are enabled
+  /// Wall-clock watchdog for the whole evaluation (scheduling + all
+  /// repetitions); 0 disables it.  The deadline is checked after the
+  /// scheduling call and between repetitions (cooperative granularity: a
+  /// single scheduler invocation is never preempted mid-flight), throwing
+  /// TimeoutError when exceeded.  run_serial/run_parallel capture that
+  /// into a `timed_out` cell instead of aborting the sweep.
+  Seconds run_timeout = 0;
 };
+
+/// Outcome class of one experimental cell.  Degraded cells (anything but
+/// ok) carry no sample data; aggregation counts them instead of averaging.
+enum class RunStatus {
+  ok,         ///< evaluation completed normally
+  timed_out,  ///< watchdog deadline expired (EvalConfig::run_timeout)
+  errored,    ///< evaluation threw; see error_kind / error_message
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::ok: return "ok";
+    case RunStatus::timed_out: return "timed_out";
+    case RunStatus::errored: return "errored";
+  }
+  return "errored";
+}
+
+/// Inverse of to_string(RunStatus); unrecognized names map to errored.
+[[nodiscard]] constexpr RunStatus parse_run_status(std::string_view name) {
+  if (name == "ok") return RunStatus::ok;
+  if (name == "timed_out") return RunStatus::timed_out;
+  return RunStatus::errored;
+}
 
 /// Aggregated outcome of one (workflow, algorithm, budget) point.
 struct EvalResult {
   std::string algorithm;
   Dollars budget = 0;
+
+  // Harness outcome.  Degraded cells (status != ok) have empty makespan /
+  // cost summaries and zero fractions; error_kind / error_message explain
+  // why (see the ErrorKind taxonomy in common/error.hpp).
+  RunStatus status = RunStatus::ok;
+  ErrorKind error_kind = ErrorKind::none;
+  std::string error_message;
+  [[nodiscard]] bool ok() const { return status == RunStatus::ok; }
 
   // Deterministic prediction (conservative weights).
   Seconds predicted_makespan = 0;

@@ -1,11 +1,20 @@
 #include "exp/runner.hpp"
 
+#include <atomic>
+#include <csignal>
+#include <limits>
+
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "exp/checkpoint.hpp"
 
 namespace cloudwf::exp {
 
 namespace {
+
+std::atomic<bool> interrupt_flag{false};
+
+extern "C" void cloudwf_on_signal(int) { interrupt_flag.store(true); }
 
 void check_requests(std::span<const RunRequest> requests) {
   for (const RunRequest& request : requests) {
@@ -15,58 +24,124 @@ void check_requests(std::span<const RunRequest> requests) {
   }
 }
 
+/// Placeholder cell for a request whose evaluation failed: no sample data,
+/// zero fractions, the error taxonomy filled in.
+EvalResult degraded_result(const RunRequest& request, RunStatus status,
+                           const std::exception& error) {
+  EvalResult result;
+  result.algorithm = request.algorithm;
+  result.budget = request.budget;
+  result.status = status;
+  result.error_kind = classify_error(error);
+  result.error_message = error.what();
+  result.deadline_fraction = 0;
+  result.success_fraction = 0;
+  return result;
+}
+
+/// Evaluates one request under \p policy: journal replay, watchdog,
+/// exception capture, journal record.  Interrupted always propagates.
+EvalResult evaluate_request(const platform::Platform& platform, const RunRequest& request,
+                            const RunPolicy& policy) {
+  throw_if_interrupted();
+  std::string fingerprint;
+  if (policy.journal != nullptr) {
+    fingerprint = fingerprint_request(request, policy.fingerprint_salt);
+    if (const EvalResult* cached = policy.journal->find(fingerprint)) return *cached;
+  }
+  EvalConfig config = request.config;
+  if (policy.run_timeout > 0) config.run_timeout = policy.run_timeout;
+  EvalResult result;
+  try {
+    result = evaluate(*request.wf, platform, request.algorithm, request.budget, config);
+  } catch (const Interrupted&) {
+    throw;
+  } catch (const TimeoutError& error) {
+    if (!policy.capture_errors) throw;
+    result = degraded_result(request, RunStatus::timed_out, error);
+  } catch (const std::exception& error) {
+    if (!policy.capture_errors) throw;
+    result = degraded_result(request, RunStatus::errored, error);
+  }
+  // Only completed cells become durable; degraded ones are retried on
+  // resume (a transient OOM or timeout should not poison future runs).
+  if (policy.journal != nullptr && result.ok()) policy.journal->record(fingerprint, result);
+  return result;
+}
+
 }  // namespace
 
+void install_interrupt_handlers() {
+  std::signal(SIGINT, cloudwf_on_signal);
+  std::signal(SIGTERM, cloudwf_on_signal);
+}
+
+void request_interrupt() noexcept { interrupt_flag.store(true); }
+
+void clear_interrupt() noexcept { interrupt_flag.store(false); }
+
+bool interrupt_requested() noexcept { return interrupt_flag.load(); }
+
+void throw_if_interrupted() {
+  if (interrupt_flag.load())
+    throw Interrupted("runner: stop requested (SIGINT/SIGTERM); journaled cells are durable");
+}
+
 std::vector<EvalResult> run_parallel(const platform::Platform& platform,
-                                     std::span<const RunRequest> requests, ThreadPool& pool) {
+                                     std::span<const RunRequest> requests, ThreadPool& pool,
+                                     const RunPolicy& policy) {
   check_requests(requests);
   std::vector<EvalResult> results(requests.size());
   pool.parallel_for(requests.size(), [&](std::size_t i) {
-    const RunRequest& request = requests[i];
-    results[i] =
-        evaluate(*request.wf, platform, request.algorithm, request.budget, request.config);
+    results[i] = evaluate_request(platform, requests[i], policy);
   });
   return results;
 }
 
 std::vector<EvalResult> run_serial(const platform::Platform& platform,
-                                   std::span<const RunRequest> requests) {
+                                   std::span<const RunRequest> requests,
+                                   const RunPolicy& policy) {
   check_requests(requests);
   std::vector<EvalResult> results;
   results.reserve(requests.size());
   for (const RunRequest& request : requests)
-    results.push_back(
-        evaluate(*request.wf, platform, request.algorithm, request.budget, request.config));
+    results.push_back(evaluate_request(platform, request, policy));
   return results;
 }
 
 void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
                        std::span<const EvalResult> results) {
   require(requests.size() == results.size(), "write_results_csv: size mismatch");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
   CsvWriter csv(out);
-  csv.header({"workflow", "algorithm", "budget", "tag", "repetitions", "predicted_makespan",
-              "predicted_cost", "predicted_feasible", "used_vms", "makespan_mean",
-              "makespan_stddev", "makespan_p95", "cost_mean", "cost_stddev", "valid_fraction",
+  csv.header({"workflow", "algorithm", "budget", "tag", "status", "error_kind",
+              "error_message", "repetitions", "predicted_makespan", "predicted_cost",
+              "predicted_feasible", "used_vms", "makespan_mean", "makespan_stddev",
+              "makespan_p95", "cost_mean", "cost_stddev", "valid_fraction",
               "deadline_fraction", "objective_fraction", "success_fraction",
               "budget_violation_fraction", "crashes_mean", "failed_tasks_mean",
               "recovery_cost_mean", "wasted_compute_mean", "schedule_seconds"});
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const RunRequest& request = requests[i];
     const EvalResult& r = results[i];
+    const bool ok = r.ok();
     csv.field(request.wf->name())
         .field(r.algorithm)
         .field(r.budget)
         .field(request.tag)
+        .field(to_string(r.status))
+        .field(to_string(r.error_kind))
+        .field(r.error_message)
         .field(r.makespan.count())
-        .field(r.predicted_makespan)
-        .field(r.predicted_cost)
+        .field(ok ? r.predicted_makespan : nan)
+        .field(ok ? r.predicted_cost : nan)
         .field(r.predicted_feasible ? 1 : 0)
         .field(r.used_vms)
-        .field(r.makespan.mean())
-        .field(r.makespan.stddev())
-        .field(r.makespan.quantile(0.95))
-        .field(r.cost.mean())
-        .field(r.cost.stddev())
+        .field(ok ? r.makespan.mean() : nan)
+        .field(ok ? r.makespan.stddev() : nan)
+        .field(ok ? r.makespan.quantile(0.95) : nan)
+        .field(ok ? r.cost.mean() : nan)
+        .field(ok ? r.cost.stddev() : nan)
         .field(r.valid_fraction)
         .field(r.deadline_fraction)
         .field(r.objective_fraction)

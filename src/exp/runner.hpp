@@ -1,12 +1,19 @@
 #pragma once
 
 /// \file runner.hpp
-/// \brief Parallel execution of experiment matrices + raw-result CSV export.
+/// \brief Robust parallel execution of experiment matrices + raw-result CSV.
 ///
 /// Every cloudwf component is a pure function of its inputs and seeds, so an
 /// experiment matrix parallelizes trivially: requests are evaluated across a
 /// ThreadPool and results land at their request's index regardless of
 /// execution order — output is bit-identical to a serial run.
+///
+/// The runner is also the campaign's crash containment layer: with the
+/// default RunPolicy a throwing or watchdog-timed-out request becomes a
+/// degraded (`errored` / `timed_out`) result cell instead of tearing down
+/// the whole sweep, completed cells can be journaled for resume, and a
+/// SIGINT/SIGTERM (via request_interrupt()) stops the matrix at the next
+/// cell boundary with everything already journaled.
 
 #include <ostream>
 #include <span>
@@ -18,6 +25,8 @@
 
 namespace cloudwf::exp {
 
+class CheckpointJournal;
+
 /// One experimental point to evaluate.
 struct RunRequest {
   const dag::Workflow* wf = nullptr;  ///< must outlive the run
@@ -27,21 +36,55 @@ struct RunRequest {
   std::string tag;  ///< free-form label carried into the CSV ("inst=3;b=2")
 };
 
+/// Robustness knobs of one matrix run.
+struct RunPolicy {
+  /// Per-request wall-clock watchdog (seconds); 0 disables it.  Overrides
+  /// EvalConfig::run_timeout for every request when positive.
+  Seconds run_timeout = 0;
+  /// Capture exceptions from individual requests into degraded result
+  /// cells (the default).  When false the first exception propagates —
+  /// the pre-durability behavior.  Interrupted always propagates.
+  bool capture_errors = true;
+  /// When set, completed cells are replayed from / recorded to this
+  /// journal (see checkpoint.hpp).  The journal must outlive the run.
+  CheckpointJournal* journal = nullptr;
+  /// Salt mixed into request fingerprints (campaign config hash).
+  std::uint64_t fingerprint_salt = 0;
+};
+
 /// Evaluates all \p requests over \p pool; results are index-aligned with
-/// the requests.  The first exception (if any) is rethrown after the pool
-/// drains.
+/// the requests.  Degraded cells are recorded per RunPolicy; Interrupted
+/// (and, with capture_errors off, the first exception) is rethrown after
+/// the pool drains.
 [[nodiscard]] std::vector<EvalResult> run_parallel(const platform::Platform& platform,
                                                    std::span<const RunRequest> requests,
-                                                   ThreadPool& pool);
+                                                   ThreadPool& pool,
+                                                   const RunPolicy& policy = {});
 
-/// Serial fallback with identical semantics.
+/// Serial variant with identical semantics.
 [[nodiscard]] std::vector<EvalResult> run_serial(const platform::Platform& platform,
-                                                 std::span<const RunRequest> requests);
+                                                 std::span<const RunRequest> requests,
+                                                 const RunPolicy& policy = {});
 
 /// Writes one CSV row per (request, result): workflow, algorithm, budget,
-/// tag, prediction, per-repetition aggregates and validity fractions —
-/// the raw material external plotting scripts consume.
+/// tag, prediction, per-repetition aggregates, validity fractions and the
+/// run status/error columns — the raw material external plotting scripts
+/// consume.  Degraded cells render nan for sample statistics.
 void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
                        std::span<const EvalResult> results);
+
+/// \name Cooperative interruption
+/// Signal handlers may only set a flag; install_interrupt_handlers() wires
+/// SIGINT/SIGTERM to request_interrupt(), and the runner checks the flag
+/// at every cell boundary, throwing Interrupted so campaigns stop with
+/// their journal flushed instead of dying mid-write.
+///@{
+void install_interrupt_handlers();
+void request_interrupt() noexcept;        ///< async-signal-safe
+void clear_interrupt() noexcept;          ///< for tests / REPL reuse
+[[nodiscard]] bool interrupt_requested() noexcept;
+/// Throws Interrupted when the flag is set.
+void throw_if_interrupted();
+///@}
 
 }  // namespace cloudwf::exp

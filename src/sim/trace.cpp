@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/csv.hpp"
 #include "common/json.hpp"
 
@@ -53,6 +54,23 @@ void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
         .field(record.recovery ? 1 : 0);
     csv.end_row();
   }
+}
+
+void save_task_trace_csv(const dag::Workflow& wf, const SimResult& result,
+                         const std::string& path) {
+  AtomicFile file(path);
+  write_task_trace_csv(wf, result, file.stream());
+  file.commit();
+}
+
+void save_vm_trace_csv(const SimResult& result, const std::string& path) {
+  AtomicFile file(path);
+  write_vm_trace_csv(result, file.stream());
+  file.commit();
+}
+
+void save_result_summary_json(const SimResult& result, const std::string& path) {
+  write_file_atomic(path, result_summary_json(result) + "\n");
 }
 
 std::string result_summary_json(const SimResult& result) {

@@ -18,6 +18,16 @@ void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std:
 /// end, busy, task_count, utilization.
 void write_vm_trace_csv(const SimResult& result, std::ostream& out);
 
+/// \name Crash-safe file variants
+/// Stage through common/atomic_file (write-temp -> fsync -> rename), so an
+/// interrupted export never leaves a torn trace on disk.
+///@{
+void save_task_trace_csv(const dag::Workflow& wf, const SimResult& result,
+                         const std::string& path);
+void save_vm_trace_csv(const SimResult& result, const std::string& path);
+void save_result_summary_json(const SimResult& result, const std::string& path);
+///@}
+
 /// JSON summary of the run (makespan, cost breakdown, VM/transfer stats).
 [[nodiscard]] std::string result_summary_json(const SimResult& result);
 

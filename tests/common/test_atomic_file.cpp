@@ -1,0 +1,99 @@
+/// \file test_atomic_file.cpp
+/// \brief Tests of crash-safe file replacement (common/atomic_file).
+
+#include "common/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace cloudwf {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Temp-file droppings in \p dir that match AtomicFile's naming scheme.
+std::size_t leftover_temps(const fs::path& dir) {
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) ++count;
+  return count;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "cloudwf_atomic_file";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesContent) {
+  const std::string path = (dir_ / "out.txt").string();
+  AtomicFile file(path);
+  file.stream() << "hello\nworld\n";
+  EXPECT_FALSE(fs::exists(path));  // invisible until commit
+  file.commit();
+  EXPECT_TRUE(file.committed());
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+  EXPECT_EQ(leftover_temps(dir_), 0u);
+}
+
+TEST_F(AtomicFileTest, OverwritesExistingAtomically) {
+  const std::string path = (dir_ / "out.txt").string();
+  write_file_atomic(path, "old content");
+  AtomicFile file(path);
+  file.stream() << "new content";
+  EXPECT_EQ(slurp(path), "old content");  // old version intact while staged
+  file.commit();
+  EXPECT_EQ(slurp(path), "new content");
+}
+
+TEST_F(AtomicFileTest, DiscardWithoutCommitKeepsOldFile) {
+  const std::string path = (dir_ / "out.txt").string();
+  write_file_atomic(path, "precious");
+  {
+    AtomicFile file(path);
+    file.stream() << "half-written garbage";
+    // destructor without commit(): discard
+  }
+  EXPECT_EQ(slurp(path), "precious");
+  EXPECT_EQ(leftover_temps(dir_), 0u);
+}
+
+TEST_F(AtomicFileTest, DoubleCommitThrows) {
+  const std::string path = (dir_ / "out.txt").string();
+  AtomicFile file(path);
+  file.stream() << "x";
+  file.commit();
+  EXPECT_THROW(file.commit(), IoError);
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryThrowsIoError) {
+  EXPECT_THROW(AtomicFile((dir_ / "no_such_subdir" / "out.txt").string()), IoError);
+}
+
+TEST_F(AtomicFileTest, WriteFileAtomicHelper) {
+  const std::string path = (dir_ / "helper.txt").string();
+  write_file_atomic(path, "payload");
+  EXPECT_EQ(slurp(path), "payload");
+  EXPECT_EQ(leftover_temps(dir_), 0u);
+}
+
+}  // namespace
+}  // namespace cloudwf

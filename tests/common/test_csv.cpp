@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -95,7 +97,29 @@ TEST(Csv, RowsWrittenCounts) {
 }
 
 TEST(CsvFile, RejectsUnwritablePath) {
-  EXPECT_THROW(CsvFile("/nonexistent-dir/file.csv"), InvalidArgument);
+  // The temporary sibling cannot be created, so construction fails before
+  // anything touches the destination path.
+  EXPECT_THROW(CsvFile("/nonexistent-dir/file.csv"), IoError);
+}
+
+TEST(CsvFile, PublishesAtomicallyOnCommit) {
+  const std::string path = ::testing::TempDir() + "csvfile_atomic.csv";
+  std::filesystem::remove(path);
+  {
+    CsvFile file(path);
+    file.writer().header({"a", "b"});
+    file.writer().field("x").field(1.5);
+    file.writer().end_row();
+    // Not yet visible: content is still in the temporary sibling.
+    EXPECT_FALSE(std::filesystem::exists(path));
+    file.commit();
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "a,b\nx,1.5\n");
+  std::filesystem::remove(path);
 }
 
 TEST(ParseCsv, BasicRows) {

@@ -127,14 +127,93 @@ TEST(Runner, CsvRoundTripsThroughParser) {
 
   ASSERT_EQ(rows.size(), requests.size() + 1);
   const std::vector<std::string>& header = rows[0];
-  EXPECT_EQ(header.size(), 24u);
-  for (const char* column : {"success_fraction", "budget_violation_fraction", "crashes_mean",
-                             "failed_tasks_mean", "recovery_cost_mean", "wasted_compute_mean"})
+  EXPECT_EQ(header.size(), 27u);
+  for (const char* column : {"status", "error_kind", "error_message", "success_fraction",
+                             "budget_violation_fraction", "crashes_mean", "failed_tasks_mean",
+                             "recovery_cost_mean", "wasted_compute_mean"})
     EXPECT_NE(std::find(header.begin(), header.end(), column), header.end()) << column;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     ASSERT_EQ(rows[i + 1].size(), header.size()) << i;
     EXPECT_EQ(rows[i + 1][3], requests[i].tag) << i;  // tag column, unescaped
+    EXPECT_EQ(rows[i + 1][4], "ok") << i;             // status column
+    EXPECT_EQ(rows[i + 1][5], "none") << i;           // error_kind column
+    EXPECT_EQ(rows[i + 1][6], "") << i;               // error_message column
   }
+}
+
+TEST(Runner, ThrowingAlgorithmBecomesErroredCellMidMatrix) {
+  // The robustness regression: one bad algorithm name in the middle of a
+  // parallel matrix must degrade exactly its own cell, not tear down the
+  // whole campaign with an exception out of parallel_for.
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {15, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  auto requests = make_matrix(wf);
+  const std::size_t bad = requests.size() / 2;
+  requests[bad].algorithm = "no-such-algorithm";
+
+  ThreadPool pool(4);
+  const auto results = run_parallel(platform, requests, pool);
+
+  ASSERT_EQ(results.size(), requests.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == bad) {
+      EXPECT_EQ(results[i].status, RunStatus::errored);
+      EXPECT_EQ(results[i].error_kind, ErrorKind::invalid_argument);
+      EXPECT_FALSE(results[i].error_message.empty());
+      EXPECT_TRUE(results[i].makespan.empty());
+    } else {
+      EXPECT_EQ(results[i].status, RunStatus::ok) << i;
+      EXPECT_GT(results[i].makespan.count(), 0u) << i;
+    }
+  }
+
+  // The degraded cell survives a CSV round trip with parseable columns.
+  std::ostringstream os;
+  write_results_csv(os, requests, results);
+  const auto rows = parse_csv(os.str());
+  EXPECT_EQ(rows[1 + bad][4], "errored");
+  EXPECT_EQ(parse_error_kind(rows[1 + bad][5]), ErrorKind::invalid_argument);
+  EXPECT_EQ(rows[1 + bad][12], "nan");  // makespan_mean column
+}
+
+TEST(Runner, CaptureErrorsOffPropagatesTheException) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {15, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  auto requests = make_matrix(wf);
+  requests[0].algorithm = "no-such-algorithm";
+  RunPolicy policy;
+  policy.capture_errors = false;
+  EXPECT_THROW((void)run_serial(platform, requests, policy), InvalidArgument);
+}
+
+TEST(Runner, WatchdogTimeoutBecomesTimedOutCell) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {15, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  std::vector<RunRequest> requests(1);
+  requests[0].wf = &wf;
+  requests[0].algorithm = "heft";
+  requests[0].budget = 4.0;
+  requests[0].config.repetitions = 4;
+  RunPolicy policy;
+  policy.run_timeout = 1e-9;  // expires before the first deadline check
+  const auto results = run_serial(platform, requests, policy);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RunStatus::timed_out);
+  EXPECT_EQ(results[0].error_kind, ErrorKind::timeout);
+  EXPECT_TRUE(results[0].makespan.empty());
+}
+
+TEST(Runner, InterruptStopsTheSweep) {
+  const auto wf = pegasus::generate(pegasus::WorkflowType::montage, {15, 4, 0.5});
+  const auto platform = platform::paper_platform();
+  const auto requests = make_matrix(wf);
+  request_interrupt();
+  // Interrupted is a shutdown request, not a per-cell failure: it must
+  // propagate even though capture_errors defaults to true.
+  EXPECT_THROW((void)run_serial(platform, requests), Interrupted);
+  clear_interrupt();
+  EXPECT_FALSE(interrupt_requested());
+  EXPECT_EQ(run_serial(platform, requests).size(), requests.size());
 }
 
 TEST(Runner, CsvRejectsMismatchedSpans) {
@@ -145,6 +224,33 @@ TEST(Runner, CsvRejectsMismatchedSpans) {
   results.pop_back();
   std::ostringstream os;
   EXPECT_THROW(write_results_csv(os, requests, results), InvalidArgument);
+}
+
+TEST(Runner, CampaignReportsDegradedCellsAndCompletes) {
+  CampaignConfig config;
+  config.type = pegasus::WorkflowType::montage;
+  config.tasks = 15;
+  config.instances = 2;
+  config.budget_points = 3;
+  config.repetitions = 3;
+  config.algorithms = {"heft", "no-such-algorithm"};
+
+  const CampaignResult result = run_campaign(platform::paper_platform(), config);
+  EXPECT_EQ(result.errored_cells, 2u * 3u);  // every (instance, budget) of the bad algorithm
+  EXPECT_EQ(result.timed_out_cells, 0u);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (std::size_t b = 0; b < result.cells[0].size(); ++b) {
+    EXPECT_EQ(result.cells[0][b].degraded(), 0u) << b;
+    EXPECT_EQ(result.cells[0][b].makespan.count(), 2u) << b;  // healthy algorithm intact
+    EXPECT_EQ(result.cells[1][b].errored, 2u) << b;
+    EXPECT_EQ(result.cells[1][b].makespan.count(), 0u) << b;
+
+    // The table renderer must not choke on empty accumulators.
+  }
+  std::ostringstream os;
+  print_campaign_table(os, result, "makespan", "degraded campaign");
+  EXPECT_NE(os.str().find("n/a"), std::string::npos);
+  EXPECT_NE(os.str().find("degraded cells excluded"), std::string::npos);
 }
 
 TEST(Runner, CampaignParallelMatchesSerial) {

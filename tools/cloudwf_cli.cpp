@@ -16,9 +16,19 @@
 ///             [--recovery-max-task-retries 2] [--recovery-max-boot-attempts 3]
 ///             [--recovery-max-transfer-retries 3] [--recovery-transfer-backoff 1]
 ///   sweep     <wf> --algorithms minmin-budg,heft-budg,bdt,cg [--points 6]
-///             [--reps 10] [--threads N] [--csv raw.csv] [--fault-* as above]
+///             [--reps 10] [--threads N] [--csv raw.csv] [--run-timeout S]
+///             [--fault-* as above]
 ///   campaign  --type montage [--tasks 90] [--instances 3] [--sigma 0.5]
 ///             [--algorithms ...] [--points 6] [--reps 10] [--threads N]
+///             [--checkpoint-dir DIR] [--resume] [--run-timeout S]
+///
+/// Durability: with --checkpoint-dir every completed campaign cell is
+/// journaled (append + fsync) to DIR/campaign-<family>-<confighash>.jsonl;
+/// after a crash or Ctrl-C, re-running the same command with --resume
+/// replays finished cells bit-identically and computes only the rest.
+/// --run-timeout S turns a hung evaluation into a reported `timed_out`
+/// cell instead of stalling the sweep; SIGINT/SIGTERM stop at the next
+/// cell boundary with the journal already flushed (exit code 130).
 ///
 /// Workflow files are recognized by extension: .json (cloudwf schema) or
 /// .dax/.xml (Pegasus DAX).  Commands run on the reconstructed Table II
@@ -31,6 +41,7 @@
 #include <iostream>
 
 #include "cli_args.hpp"
+#include "common/atomic_file.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "dag/analysis.hpp"
@@ -197,12 +208,11 @@ int cmd_schedule(const cli::Args& args) {
   if (args.has("trace-dir")) {
     const std::filesystem::path dir = args.get("trace-dir", ".");
     std::filesystem::create_directories(dir);
-    std::ofstream tasks(dir / "tasks.csv");
-    sim::write_task_trace_csv(wf, prediction, tasks);
-    std::ofstream vms(dir / "vms.csv");
-    sim::write_vm_trace_csv(prediction, vms);
+    sim::save_task_trace_csv(wf, prediction, (dir / "tasks.csv").string());
+    sim::save_vm_trace_csv(prediction, (dir / "vms.csv").string());
+    sim::save_result_summary_json(prediction, (dir / "summary.json").string());
     std::cout << "wrote " << (dir / "tasks.csv").string() << ", " << (dir / "vms.csv").string()
-              << '\n';
+              << ", " << (dir / "summary.json").string() << '\n';
   }
   return 0;
 }
@@ -303,13 +313,15 @@ int cmd_sweep(const cli::Args& args) {
       requests.push_back(std::move(request));
     }
   }
+  exp::RunPolicy policy;
+  policy.run_timeout = args.get_double("run-timeout", 0.0);
   std::vector<exp::EvalResult> results;
   const std::size_t threads = args.get_size("threads", 1);
   if (threads == 1) {
-    results = exp::run_serial(cloud, requests);
+    results = exp::run_serial(cloud, requests, policy);
   } else {
     ThreadPool pool(threads);
-    results = exp::run_parallel(cloud, requests, pool);
+    results = exp::run_parallel(cloud, requests, pool, policy);
   }
 
   TablePrinter table("budget sweep on " + wf.name() + " (makespan s | cost $ | %valid)");
@@ -317,10 +329,17 @@ int cmd_sweep(const cli::Args& args) {
   for (const std::string& algorithm : algorithms) columns.push_back(algorithm);
   table.columns(std::move(columns));
   std::size_t index = 0;
+  std::size_t degraded = 0;
   for (const Dollars budget : budgets) {
     std::vector<std::string> cells{TablePrinter::num(budget, 4)};
     for (std::size_t a = 0; a < algorithms.size(); ++a, ++index) {
       const exp::EvalResult& r = results[index];
+      if (!r.ok()) {
+        ++degraded;
+        cells.push_back(std::string(to_string(r.status)) + " (" +
+                        std::string(to_string(r.error_kind)) + ")");
+        continue;
+      }
       cells.push_back(TablePrinter::num(r.makespan.mean(), 0) + " | " +
                       TablePrinter::num(r.cost.mean(), 3) + " | " +
                       TablePrinter::num(100 * r.valid_fraction, 0) + "%");
@@ -328,11 +347,13 @@ int cmd_sweep(const cli::Args& args) {
     table.row(std::move(cells));
   }
   table.print(std::cout);
+  if (degraded > 0)
+    std::cout << degraded << " degraded cell(s); see the status/error_kind CSV columns\n";
 
   if (args.has("csv")) {
-    std::ofstream out(args.get("csv", "sweep.csv"));
-    require(out.good(), "cannot open csv output file");
-    exp::write_results_csv(out, requests, results);
+    AtomicFile out(args.get("csv", "sweep.csv"));
+    exp::write_results_csv(out.stream(), requests, results);
+    out.commit();
     std::cout << "wrote " << args.get("csv", "sweep.csv")
               << "  (plot with scripts/plot_results.py)\n";
   }
@@ -351,9 +372,17 @@ int cmd_campaign(const cli::Args& args) {
   config.seed = args.get_size("seed", 42);
   config.threads = args.get_size("threads", 1);
   config.low_budget_factor = args.get_double("low-factor", 1.0);
+  config.checkpoint_dir = args.get("checkpoint-dir", "");
+  config.resume = args.has("resume");
+  config.run_timeout = args.get_double("run-timeout", 0.0);
   config.apply_quick_mode();
 
   const exp::CampaignResult result = exp::run_campaign(make_platform(args), config);
+  // Journal bookkeeping goes to stderr so a resumed campaign's stdout stays
+  // byte-identical to an uninterrupted run (diffable in CI).
+  if (!result.journal_path.empty())
+    std::cerr << "checkpoint journal: " << result.journal_path << " ("
+              << result.replayed_cells << " cells replayed)\n";
   const std::string family(pegasus::to_string(config.type));
   exp::print_campaign_table(std::cout, result, "makespan",
                             family + " campaign — makespan (s)");
@@ -367,7 +396,8 @@ int cmd_campaign(const cli::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const cli::Args args(argc, argv, {"online", "help"});
+  exp::install_interrupt_handlers();
+  const cli::Args args(argc, argv, {"online", "help", "resume"});
   const std::string& command = args.command();
   if (command.empty() || command == "help" || args.has("help")) {
     std::cout << usage;
@@ -382,6 +412,11 @@ int main(int argc, char** argv) try {
   if (command == "campaign") return cmd_campaign(args);
   std::cerr << "unknown command '" << command << "'\n\n" << usage;
   return 2;
+} catch (const cloudwf::Interrupted& error) {
+  // 128 + SIGINT, the conventional "killed by Ctrl-C" exit code.  The
+  // checkpoint journal (if any) is already flushed and fsynced.
+  std::cerr << "cloudwf: " << error.what() << '\n';
+  return 130;
 } catch (const std::exception& error) {
   std::cerr << "cloudwf: " << error.what() << '\n';
   return 1;
