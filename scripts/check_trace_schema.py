@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a cloudwf Chrome trace-event JSON file.
+
+Checks the subset of the Trace Event Format that cloudwf's ChromeTraceSink
+emits, plus cloudwf-specific invariants, so a regression in the exporter is
+caught in CI before someone discovers it as a blank Perfetto timeline:
+
+  * top level: {"traceEvents": [...], "displayTimeUnit": "ms"}
+  * every record has name/ph/pid, a numeric ts for event records, and one
+    of the phases M (metadata), X (complete slice), i (instant);
+  * X slices carry a non-negative dur;
+  * i instants carry scope "t";
+  * metadata records name process_name / thread_name / thread_sort_index
+    and precede any event on their track;
+  * per-track timestamps: every event lands on a tid that was announced by
+    a thread_name metadata record;
+  * args, when present, is an object.
+
+Pure standard library (no jsonschema); exit 0 = valid, 1 = violations
+(printed one per line), 2 = unreadable input.
+
+Usage: check_trace_schema.py trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+ALLOWED_PHASES = {"M", "X", "i"}
+METADATA_NAMES = {"process_name", "thread_name", "thread_sort_index"}
+
+
+def validate(doc: object) -> list[str]:
+    errors: list[str] = []
+
+    def err(index: int | None, message: str) -> None:
+        where = "top-level" if index is None else f"record {index}"
+        errors.append(f"{where}: {message}")
+
+    if not isinstance(doc, dict):
+        return ["top-level: document must be a JSON object"]
+    if "traceEvents" not in doc:
+        return ["top-level: missing 'traceEvents'"]
+    if not isinstance(doc["traceEvents"], list):
+        return ["top-level: 'traceEvents' must be an array"]
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        err(None, "'displayTimeUnit' must be 'ms' or 'ns'")
+
+    named_tids: set[float] = set()
+    for i, record in enumerate(doc["traceEvents"]):
+        if not isinstance(record, dict):
+            err(i, "record must be an object")
+            continue
+        ph = record.get("ph")
+        if ph not in ALLOWED_PHASES:
+            err(i, f"unexpected phase {ph!r} (cloudwf emits only M/X/i)")
+            continue
+        if not isinstance(record.get("name"), str) or not record["name"]:
+            err(i, "missing or empty 'name'")
+        if "pid" not in record:
+            err(i, "missing 'pid'")
+
+        if ph == "M":
+            name = record.get("name")
+            if name not in METADATA_NAMES:
+                err(i, f"unknown metadata record {name!r}")
+            if not isinstance(record.get("args"), dict):
+                err(i, "metadata record without args object")
+            if name == "thread_name":
+                if "tid" not in record:
+                    err(i, "thread_name metadata without tid")
+                else:
+                    named_tids.add(record["tid"])
+            continue
+
+        # Event records (X / i).
+        tid = record.get("tid")
+        if tid is None:
+            err(i, "event record without tid")
+        elif tid not in named_tids:
+            err(i, f"event on unannounced track tid={tid} "
+                   "(thread_name metadata must precede events)")
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)):
+            err(i, "event record without numeric ts")
+        elif ts < 0:
+            err(i, f"negative timestamp {ts}")
+        if "args" in record and not isinstance(record["args"], dict):
+            err(i, "'args' must be an object")
+
+        if ph == "X":
+            dur = record.get("dur")
+            if not isinstance(dur, (int, float)):
+                err(i, "complete slice without numeric dur")
+            elif dur < 0:
+                err(i, f"negative duration {dur}")
+        elif ph == "i":
+            if record.get("s") != "t":
+                err(i, "instant without scope 't'")
+
+    if not named_tids:
+        err(None, "no thread_name metadata records (empty timeline)")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_trace_schema: cannot read {argv[1]}: {error}", file=sys.stderr)
+        return 2
+    errors = validate(doc)
+    for message in errors:
+        print(f"check_trace_schema: {message}", file=sys.stderr)
+    if not errors:
+        events = doc["traceEvents"]
+        slices = sum(1 for r in events if r.get("ph") == "X")
+        instants = sum(1 for r in events if r.get("ph") == "i")
+        print(f"check_trace_schema: OK — {len(events)} records "
+              f"({slices} slices, {instants} instants)")
+    return 0 if not errors else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

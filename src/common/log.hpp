@@ -20,8 +20,20 @@ enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 /// Overrides the threshold programmatically (tests, examples).
 void set_log_threshold(LogLevel level);
 
+/// Structured-output switch (initialized once from CLOUDWF_LOG_JSON; "1",
+/// "true" or "on" enable it).  When on, every record is a single JSON
+/// object per line — {"ts","level","component","msg"} — for log shippers;
+/// the default plain-text format is unchanged byte-for-byte.
+[[nodiscard]] bool log_json();
+void set_log_json(bool enabled);
+
 /// Emits \p message to stderr if \p level passes the threshold.
 void log_message(LogLevel level, std::string_view message);
+
+/// Component-tagged variant; \p component names the emitting subsystem
+/// ("runner", "campaign", ...).  Plain mode renders it as a `component:`
+/// prefix, JSON mode as the "component" field.
+void log_message(LogLevel level, std::string_view component, std::string_view message);
 
 namespace detail {
 
@@ -31,6 +43,14 @@ void log_fmt(LogLevel level, const Args&... args) {
   std::ostringstream os;
   (os << ... << args);
   log_message(level, os.str());
+}
+
+template <typename... Args>
+void log_fmt_c(LogLevel level, std::string_view component, const Args&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, component, os.str());
 }
 
 }  // namespace detail
@@ -54,5 +74,29 @@ template <typename... Args>
 void log_error(const Args&... args) {
   detail::log_fmt(LogLevel::error, args...);
 }
+
+/// \name Component-tagged convenience wrappers
+/// First argument is the component name, the rest stream into the message.
+///@{
+template <typename... Args>
+void log_debug_c(std::string_view component, const Args&... args) {
+  detail::log_fmt_c(LogLevel::debug, component, args...);
+}
+
+template <typename... Args>
+void log_info_c(std::string_view component, const Args&... args) {
+  detail::log_fmt_c(LogLevel::info, component, args...);
+}
+
+template <typename... Args>
+void log_warn_c(std::string_view component, const Args&... args) {
+  detail::log_fmt_c(LogLevel::warn, component, args...);
+}
+
+template <typename... Args>
+void log_error_c(std::string_view component, const Args&... args) {
+  detail::log_fmt_c(LogLevel::error, component, args...);
+}
+///@}
 
 }  // namespace cloudwf

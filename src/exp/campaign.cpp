@@ -181,6 +181,10 @@ CampaignResult run_campaign(const platform::Platform& platform, const CampaignCo
         cell.used_vms.add(static_cast<double>(point.used_vms));
         cell.valid.add(point.valid_fraction);
         cell.sched_time.add(point.schedule_seconds);
+        cell.queue_wait_p95.add(point.queue_wait_p95);
+        cell.vm_util.add(point.vm_util_mean);
+        cell.transfer_retries.add(point.transfer_retries_mean);
+        cell.budget_headroom.add(point.budget_headroom_mean);
       }
     }
   }
@@ -204,6 +208,10 @@ void print_campaign_table(std::ostream& out, const CampaignResult& result,
     if (metric == "vms") return cell.used_vms;
     if (metric == "valid") return cell.valid;
     if (metric == "sched_time") return cell.sched_time;
+    if (metric == "queue_wait_p95") return cell.queue_wait_p95;
+    if (metric == "util") return cell.vm_util;
+    if (metric == "retries") return cell.transfer_retries;
+    if (metric == "headroom") return cell.budget_headroom;
     throw InvalidArgument("print_campaign_table: unknown metric '" + metric + "'");
   };
 

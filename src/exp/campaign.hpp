@@ -75,6 +75,11 @@ struct CampaignCell {
   Accumulator used_vms;   ///< schedule VM count per instance
   Accumulator valid;      ///< valid fraction per instance
   Accumulator sched_time; ///< scheduler CPU seconds per instance
+  // Observability aggregates (see EvalResult), one observation per instance.
+  Accumulator queue_wait_p95;    ///< pooled p95 task queue wait (seconds)
+  Accumulator vm_util;           ///< mean busy/billed VM fraction
+  Accumulator transfer_retries;  ///< transfer retries per repetition
+  Accumulator budget_headroom;   ///< mean relative budget slack
   std::size_t timed_out = 0;  ///< instances lost to the watchdog
   std::size_t errored = 0;    ///< instances lost to an exception
   [[nodiscard]] std::size_t degraded() const { return timed_out + errored; }
@@ -100,7 +105,8 @@ struct CampaignResult {
 
 /// Renders one metric of the campaign as an aligned table (one column per
 /// algorithm, one row per budget).  \p metric is "makespan", "cost",
-/// "vms", "valid" or "sched_time".
+/// "vms", "valid", "sched_time", "queue_wait_p95", "util", "retries" or
+/// "headroom".
 void print_campaign_table(std::ostream& out, const CampaignResult& result,
                           const std::string& metric, const std::string& title);
 

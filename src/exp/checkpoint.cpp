@@ -84,6 +84,15 @@ Json eval_result_to_json(const EvalResult& r) {
   o["recovery_cost_mean"] = r.recovery_cost_mean;
   o["wasted_compute_mean"] = r.wasted_compute_mean;
   o["schedule_seconds"] = r.schedule_seconds;
+  Json::Object obs;
+  obs["queue_wait_p50"] = r.queue_wait_p50;
+  obs["queue_wait_p95"] = r.queue_wait_p95;
+  obs["queue_wait_p99"] = r.queue_wait_p99;
+  obs["vm_util_mean"] = r.vm_util_mean;
+  obs["transfer_retries_mean"] = r.transfer_retries_mean;
+  obs["budget_headroom_mean"] = r.budget_headroom_mean;
+  obs["sim_events_per_sec"] = r.sim_events_per_sec;
+  o["obs"] = Json(std::move(obs));
   return {std::move(o)};
 }
 
@@ -109,6 +118,17 @@ EvalResult eval_result_from_json(const Json& json) {
   r.recovery_cost_mean = json.at("recovery_cost_mean").as_number();
   r.wasted_compute_mean = json.at("wasted_compute_mean").as_number();
   r.schedule_seconds = json.at("schedule_seconds").as_number();
+  // Observability aggregates arrived after the journal format shipped;
+  // journals written by older builds simply lack the block (fields stay 0).
+  if (const Json* obs = json.as_object().find("obs")) {
+    r.queue_wait_p50 = obs->at("queue_wait_p50").as_number();
+    r.queue_wait_p95 = obs->at("queue_wait_p95").as_number();
+    r.queue_wait_p99 = obs->at("queue_wait_p99").as_number();
+    r.vm_util_mean = obs->at("vm_util_mean").as_number();
+    r.transfer_retries_mean = obs->at("transfer_retries_mean").as_number();
+    r.budget_headroom_mean = obs->at("budget_headroom_mean").as_number();
+    r.sim_events_per_sec = obs->at("sim_events_per_sec").as_number();
+  }
   return r;
 }
 

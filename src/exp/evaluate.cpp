@@ -4,11 +4,15 @@
 #include <optional>
 #include <sstream>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dag/stochastic.hpp"
+#include "obs/metrics.hpp"
 #include "sched/registry.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 
 namespace cloudwf::exp {
 
@@ -59,6 +63,14 @@ EvalResult evaluate_schedule_until(const dag::Workflow& wf,
   std::size_t failed_tasks = 0;
   Dollars recovery_cost = 0;
   Seconds wasted = 0;
+  // Observability aggregates: waits pooled across all repetitions, per-rep
+  // means for utilization / retries / headroom, events/s over the loop.
+  Summary queue_waits;
+  double util_sum = 0;
+  std::size_t transfer_retries = 0;
+  double headroom_sum = 0;
+  std::size_t events_total = 0;
+  const auto loop_start = Clock::now();
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
     check_deadline(deadline, algorithm, "repetition " + std::to_string(rep), config);
     Rng stream = base.fork(rep);
@@ -80,7 +92,29 @@ EvalResult evaluate_schedule_until(const dag::Workflow& wf,
     failed_tasks += run.faults.failed_tasks;
     recovery_cost += run.faults.recovery_cost;
     wasted += run.faults.wasted_compute;
+
+    for (dag::TaskId t = 0; t < run.tasks.size(); ++t) {
+      const sim::TaskRecord& record = run.tasks[t];
+      if (record.failed || record.vm == sim::invalid_vm || record.vm >= run.vms.size())
+        continue;
+      const Seconds ready = std::max(record.inputs_at_dc, run.vms[record.vm].boot_done);
+      queue_waits.add(std::max(0.0, record.start - ready));
+    }
+    Seconds busy_total = 0;
+    Seconds billed_total = 0;
+    for (const sim::VmRecord& vm : run.vms) {
+      if (vm.task_count == 0 && !vm.crashed && !vm.recovery) continue;
+      busy_total += vm.busy;
+      billed_total += vm.end - vm.boot_done;
+    }
+    if (billed_total > 0) util_sum += busy_total / billed_total;
+    transfer_retries += run.faults.transfer_failures;
+    if (budget > 0) headroom_sum += (budget - run.total_cost()) / budget;
+    events_total += run.events_processed;
+    if (config.metrics != nullptr)
+      sim::record_run_metrics(*config.metrics, run, budget);
   }
+  const Seconds loop_seconds = std::chrono::duration<double>(Clock::now() - loop_start).count();
   const auto fraction = [&](std::size_t count) {
     return static_cast<double>(count) / static_cast<double>(config.repetitions);
   };
@@ -92,6 +126,16 @@ EvalResult evaluate_schedule_until(const dag::Workflow& wf,
   result.failed_tasks_mean = fraction(failed_tasks);
   result.recovery_cost_mean = recovery_cost / static_cast<double>(config.repetitions);
   result.wasted_compute_mean = wasted / static_cast<double>(config.repetitions);
+  if (!queue_waits.empty()) {  // can be empty when every task failed
+    result.queue_wait_p50 = queue_waits.quantile(0.50);
+    result.queue_wait_p95 = queue_waits.quantile(0.95);
+    result.queue_wait_p99 = queue_waits.quantile(0.99);
+  }
+  result.vm_util_mean = util_sum / static_cast<double>(config.repetitions);
+  result.transfer_retries_mean = fraction(transfer_retries);
+  result.budget_headroom_mean = headroom_sum / static_cast<double>(config.repetitions);
+  result.sim_events_per_sec =
+      loop_seconds > 0 ? static_cast<double>(events_total) / loop_seconds : 0.0;
   return result;
 }
 

@@ -20,6 +20,10 @@
 #include "sched/scheduler.hpp"
 #include "sim/faults.hpp"
 
+namespace cloudwf::obs {
+class MetricsRegistry;
+}  // namespace cloudwf::obs
+
 namespace cloudwf::exp {
 
 /// Repetition / seeding parameters.
@@ -40,6 +44,12 @@ struct EvalConfig {
   /// TimeoutError when exceeded.  run_serial/run_parallel capture that
   /// into a `timed_out` cell instead of aborting the sweep.
   Seconds run_timeout = 0;
+  /// Optional observability hook: when non-null, every repetition records
+  /// its run metrics (queue waits, VM utilization, fault counters, budget
+  /// headroom) into this registry via sim::record_run_metrics.  Not part of
+  /// the checkpoint fingerprint — attaching a registry never invalidates
+  /// cached cells.  Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome class of one experimental cell.  Degraded cells (anything but
@@ -103,6 +113,20 @@ struct EvalResult {
 
   // Scheduler CPU time (wall time of the scheduling call), when measured.
   Seconds schedule_seconds = 0;
+
+  // Observability aggregates, pooled over all repetitions.  Cheap to keep
+  // (derived from records the simulator produces anyway), so they are always
+  // populated on ok cells.
+  Seconds queue_wait_p50 = 0;  ///< median task queue wait (ready -> start)
+  Seconds queue_wait_p95 = 0;
+  Seconds queue_wait_p99 = 0;
+  double vm_util_mean = 0;        ///< mean busy/billed fraction across reps
+  double transfer_retries_mean = 0;  ///< transfer retries per repetition
+  /// Mean relative budget slack (budget - cost) / budget; 0 when no budget.
+  double budget_headroom_mean = 0;
+  /// Simulator event-loop throughput over the repetition loop (events/s of
+  /// wall time; 0 when the loop finished too fast to time).
+  double sim_events_per_sec = 0;
 };
 
 /// Schedules \p wf with \p algorithm under \p budget, then executes

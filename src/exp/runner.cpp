@@ -1,11 +1,15 @@
 #include "exp/runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
+#include <iomanip>
 #include <limits>
+#include <sstream>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "exp/checkpoint.hpp"
 
 namespace cloudwf::exp {
@@ -69,6 +73,43 @@ EvalResult evaluate_request(const platform::Platform& platform, const RunRequest
   return result;
 }
 
+/// Per-cell progress reporting for long matrices: done/total, wall time so
+/// far, a naive linear ETA, and the metrics of the cell that just landed.
+/// Emitted at `info` (invisible by default; CLOUDWF_LOG=info shows it) on
+/// stderr, so machine-readable stdout stays byte-identical.
+class Heartbeat {
+ public:
+  explicit Heartbeat(std::size_t total) : total_(total) {}
+
+  void cell_done(const RunRequest& request, const EvalResult& result) {
+    if (LogLevel::info < log_threshold()) return;  // skip the formatting work
+    const std::size_t done = 1 + done_.fetch_add(1, std::memory_order_relaxed);
+    const double elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
+    const double eta =
+        done > 0 ? elapsed / static_cast<double>(done) *
+                       static_cast<double>(total_ - done)
+                 : 0.0;
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << "cell " << done << "/" << total_ << " ("
+       << elapsed << " s elapsed, ~" << eta << " s left): " << request.wf->name() << "/"
+       << result.algorithm << " b=" << std::setprecision(4) << result.budget << " "
+       << to_string(result.status);
+    if (result.ok())
+      os << std::setprecision(1) << " makespan=" << result.makespan.mean()
+         << " cost=" << std::setprecision(4) << result.cost.mean()
+         << " valid=" << std::setprecision(2) << result.valid_fraction
+         << " util=" << result.vm_util_mean;
+    log_info_c("runner", os.str());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t total_;
+  std::atomic<std::size_t> done_{0};
+  const Clock::time_point start_ = Clock::now();
+};
+
 }  // namespace
 
 void install_interrupt_handlers() {
@@ -92,8 +133,10 @@ std::vector<EvalResult> run_parallel(const platform::Platform& platform,
                                      const RunPolicy& policy) {
   check_requests(requests);
   std::vector<EvalResult> results(requests.size());
+  Heartbeat heartbeat(requests.size());
   pool.parallel_for(requests.size(), [&](std::size_t i) {
     results[i] = evaluate_request(platform, requests[i], policy);
+    heartbeat.cell_done(requests[i], results[i]);
   });
   return results;
 }
@@ -104,8 +147,11 @@ std::vector<EvalResult> run_serial(const platform::Platform& platform,
   check_requests(requests);
   std::vector<EvalResult> results;
   results.reserve(requests.size());
-  for (const RunRequest& request : requests)
+  Heartbeat heartbeat(requests.size());
+  for (const RunRequest& request : requests) {
     results.push_back(evaluate_request(platform, request, policy));
+    heartbeat.cell_done(request, results.back());
+  }
   return results;
 }
 
@@ -120,7 +166,11 @@ void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
               "makespan_p95", "cost_mean", "cost_stddev", "valid_fraction",
               "deadline_fraction", "objective_fraction", "success_fraction",
               "budget_violation_fraction", "crashes_mean", "failed_tasks_mean",
-              "recovery_cost_mean", "wasted_compute_mean", "schedule_seconds"});
+              "recovery_cost_mean", "wasted_compute_mean", "schedule_seconds",
+              // Observability aggregates — appended after the original 27
+              // columns so positional consumers keep working.
+              "queue_wait_p50", "queue_wait_p95", "queue_wait_p99", "vm_util_mean",
+              "transfer_retries_mean", "budget_headroom_mean", "sim_events_per_sec"});
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const RunRequest& request = requests[i];
     const EvalResult& r = results[i];
@@ -151,7 +201,14 @@ void write_results_csv(std::ostream& out, std::span<const RunRequest> requests,
         .field(r.failed_tasks_mean)
         .field(r.recovery_cost_mean)
         .field(r.wasted_compute_mean)
-        .field(r.schedule_seconds);
+        .field(r.schedule_seconds)
+        .field(ok ? r.queue_wait_p50 : nan)
+        .field(ok ? r.queue_wait_p95 : nan)
+        .field(ok ? r.queue_wait_p99 : nan)
+        .field(ok ? r.vm_util_mean : nan)
+        .field(ok ? r.transfer_retries_mean : nan)
+        .field(ok ? r.budget_headroom_mean : nan)
+        .field(ok ? r.sim_events_per_sec : nan);
     csv.end_row();
   }
 }

@@ -1,0 +1,16 @@
+#include "obs/event_bus.hpp"
+
+#include "common/error.hpp"
+
+namespace cloudwf::obs {
+
+void EventBus::add_sink(EventSink* sink) {
+  require(sink != nullptr, "EventBus::add_sink: null sink");
+  sinks_.push_back(sink);
+}
+
+void EventBus::flush() {
+  for (EventSink* sink : sinks_) sink->flush();
+}
+
+}  // namespace cloudwf::obs

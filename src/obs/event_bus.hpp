@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file event_bus.hpp
+/// \brief Fan-out of observability events to registered sinks.
+///
+/// The bus is zero-overhead when disabled: producers hold a nullable
+/// `EventBus*` and guard every emission site with a single
+/// `bus != nullptr && bus->enabled()` test (cached as one bool per run in
+/// the simulator), so a run without sinks never constructs an Event.
+/// bench/bench_obs.cpp measures and enforces the <2% disabled-path
+/// contract against BENCH_scheduler.json.
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace cloudwf::obs {
+
+/// Dispatches events to sinks in registration order.  Not thread-safe:
+/// one bus belongs to one run (simulations are single-threaded; parallel
+/// sweeps use one bus per request or none).
+class EventBus {
+ public:
+  /// Registers a non-owning sink; it must outlive every emit()/flush().
+  void add_sink(EventSink* sink);
+
+  /// True when at least one sink is attached.  Producers must check this
+  /// (or hold a null bus) before building an Event.
+  [[nodiscard]] bool enabled() const { return !sinks_.empty(); }
+
+  void emit(const Event& event) {
+    ++emitted_;
+    for (EventSink* sink : sinks_) sink->on_event(event);
+  }
+
+  /// Total events emitted through this bus.
+  [[nodiscard]] std::size_t emitted() const { return emitted_; }
+
+  /// Flushes every sink (end of run).
+  void flush();
+
+ private:
+  std::vector<EventSink*> sinks_;
+  std::size_t emitted_ = 0;
+};
+
+/// Test/bench helper: retains every event verbatim.
+class RecordingSink final : public EventSink {
+ public:
+  void on_event(const Event& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Bench helper: counts events without retaining them (isolates the
+/// emission cost from sink work).
+class CountingSink final : public EventSink {
+ public:
+  void on_event(const Event&) override { ++count_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+}  // namespace cloudwf::obs

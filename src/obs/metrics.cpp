@@ -1,0 +1,100 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/atomic_file.hpp"
+
+namespace cloudwf::obs {
+namespace {
+
+template <typename Value>
+Value* find_entry(std::vector<std::pair<std::string, Value>>& entries,
+                  std::string_view name) {
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [name](const auto& entry) { return entry.first == name; });
+  return it == entries.end() ? nullptr : &it->second;
+}
+
+template <typename Value>
+const Value* find_entry(const std::vector<std::pair<std::string, Value>>& entries,
+                        std::string_view name) {
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [name](const auto& entry) { return entry.first == name; });
+  return it == entries.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+Json Histogram::to_json() const {
+  Json::Object object;
+  object["count"] = summary_.count();
+  object["mean"] = empty() ? 0.0 : summary_.mean();
+  object["min"] = empty() ? 0.0 : summary_.min();
+  object["max"] = empty() ? 0.0 : summary_.max();
+  object["p50"] = empty() ? 0.0 : summary_.quantile(0.50);
+  object["p95"] = empty() ? 0.0 : summary_.quantile(0.95);
+  object["p99"] = empty() ? 0.0 : summary_.quantile(0.99);
+  return Json(std::move(object));
+}
+
+void MetricsRegistry::count(std::string_view name, double delta) {
+  if (double* value = find_entry(counters_, name)) {
+    *value += delta;
+    return;
+  }
+  counters_.emplace_back(std::string(name), delta);
+}
+
+void MetricsRegistry::gauge(std::string_view name, double value) {
+  if (double* slot = find_entry(gauges_, name)) {
+    *slot = value;
+    return;
+  }
+  gauges_.emplace_back(std::string(name), value);
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  if (Histogram* histogram = find_entry(histograms_, name)) {
+    histogram->observe(value);
+    return;
+  }
+  histograms_.emplace_back(std::string(name), Histogram{});
+  histograms_.back().second.observe(value);
+}
+
+double MetricsRegistry::counter_value(std::string_view name) const {
+  const double* value = find_entry(counters_, name);
+  return value == nullptr ? 0.0 : *value;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const double* value = find_entry(gauges_, name);
+  return value == nullptr ? 0.0 : *value;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  return find_entry(histograms_, name);
+}
+
+Json MetricsRegistry::to_json() const {
+  Json::Object counters;
+  for (const auto& [name, value] : counters_) counters[name] = value;
+  Json::Object gauges;
+  for (const auto& [name, value] : gauges_) gauges[name] = value;
+  Json::Object histograms;
+  for (const auto& [name, histogram] : histograms_)
+    histograms[name] = histogram.to_json();
+  Json::Object document;
+  document["counters"] = Json(std::move(counters));
+  document["gauges"] = Json(std::move(gauges));
+  document["histograms"] = Json(std::move(histograms));
+  return Json(std::move(document));
+}
+
+void MetricsRegistry::save_json(const std::string& path) const {
+  AtomicFile file(path);
+  file.stream() << to_json().dump(2) << '\n';
+  file.commit();
+}
+
+}  // namespace cloudwf::obs

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Per-run metrics registry: counters, gauges and histograms.
+///
+/// The registry is the quantitative half of the observability layer: the
+/// event bus answers "what happened, in order"; the registry answers "how
+/// much, how long, how often".  A run records queue waits, VM utilization,
+/// transfer retries, budget headroom and simulator throughput here;
+/// exp/runner serializes the registry to JSON per run and exp/campaign
+/// aggregates the scalar summaries per cell.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+
+namespace cloudwf::obs {
+
+/// Distribution metric with retained-sample quantiles (p50/p95/p99).
+/// Thin wrapper over common/stats Summary so quantile semantics match the
+/// experiment harness (linear interpolation at q * (n - 1)).
+class Histogram {
+ public:
+  void observe(double value) { summary_.add(value); }
+
+  [[nodiscard]] std::size_t count() const { return summary_.count(); }
+  [[nodiscard]] bool empty() const { return summary_.empty(); }
+  [[nodiscard]] double mean() const { return summary_.mean(); }
+  [[nodiscard]] double min() const { return summary_.min(); }
+  [[nodiscard]] double max() const { return summary_.max(); }
+  [[nodiscard]] double quantile(double q) const { return summary_.quantile(q); }
+  [[nodiscard]] const Summary& summary() const { return summary_; }
+
+  /// {"count": n, "mean": .., "min": .., "max": .., "p50": .., "p95": ..,
+  ///  "p99": ..}; zeros when empty.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  Summary summary_;
+};
+
+/// Insertion-ordered collection of named metrics for one run.
+///
+/// Lookup is linear: a run touches a dozen metric names, each many times,
+/// and insertion order makes the serialized JSON stable across runs (the
+/// same determinism contract as Json::Object).
+class MetricsRegistry {
+ public:
+  /// Monotonic count; creates the counter at 0 on first use.
+  void count(std::string_view name, double delta = 1.0);
+  /// Point-in-time value; last write wins.
+  void gauge(std::string_view name, double value);
+  /// Adds one observation to the named distribution.
+  void observe(std::string_view name, double value);
+
+  [[nodiscard]] double counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  /// Returns the named histogram or nullptr.
+  [[nodiscard]] const Histogram* histogram(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// {"counters": {..}, "gauges": {..}, "histograms": {name: {...}}}.
+  [[nodiscard]] Json to_json() const;
+
+  /// Atomically writes to_json() (pretty-printed) to \p path.
+  void save_json(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, double>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace cloudwf::obs

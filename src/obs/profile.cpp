@@ -1,0 +1,111 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace cloudwf::obs {
+namespace {
+
+struct ScopeStats {
+  std::size_t calls = 0;
+  double total = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+std::mutex& table_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<std::pair<std::string, ScopeStats>>& table() {
+  static std::vector<std::pair<std::string, ScopeStats>> scopes;
+  return scopes;
+}
+
+bool env_profiling_enabled() {
+  const char* value = std::getenv("CLOUDWF_PROFILE");
+  if (value == nullptr) return false;
+  const std::string_view text(value);
+  return text == "1" || text == "true" || text == "on";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{env_profiling_enabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool profiling_enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_profiling(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+void profile_record(std::string_view name, double seconds) {
+  const std::scoped_lock lock(table_mutex());
+  auto& scopes = table();
+  auto it = std::find_if(scopes.begin(), scopes.end(),
+                         [name](const auto& entry) { return entry.first == name; });
+  if (it == scopes.end()) {
+    scopes.emplace_back(std::string(name), ScopeStats{1, seconds, seconds, seconds});
+    return;
+  }
+  ScopeStats& stats = it->second;
+  ++stats.calls;
+  stats.total += seconds;
+  stats.min = std::min(stats.min, seconds);
+  stats.max = std::max(stats.max, seconds);
+}
+
+std::string profile_report() {
+  const std::scoped_lock lock(table_mutex());
+  const auto& scopes = table();
+  if (scopes.empty()) return {};
+  std::ostringstream os;
+  os << "profile scopes (wall clock):\n";
+  os << "  " << std::left << std::setw(28) << "scope" << std::right
+     << std::setw(10) << "calls" << std::setw(12) << "total ms" << std::setw(12)
+     << "mean ms" << std::setw(12) << "max ms" << '\n';
+  os << std::fixed << std::setprecision(3);
+  for (const auto& [name, stats] : scopes) {
+    const double mean = stats.calls == 0 ? 0.0 : stats.total / static_cast<double>(stats.calls);
+    os << "  " << std::left << std::setw(28) << name << std::right
+       << std::setw(10) << stats.calls << std::setw(12) << stats.total * 1e3
+       << std::setw(12) << mean * 1e3 << std::setw(12) << stats.max * 1e3
+       << '\n';
+  }
+  return os.str();
+}
+
+Json profile_json() {
+  const std::scoped_lock lock(table_mutex());
+  Json::Object scopes;
+  for (const auto& [name, stats] : table()) {
+    Json::Object entry;
+    entry["calls"] = stats.calls;
+    entry["total_ms"] = stats.total * 1e3;
+    entry["mean_ms"] =
+        stats.calls == 0 ? 0.0 : stats.total * 1e3 / static_cast<double>(stats.calls);
+    entry["min_ms"] = stats.min * 1e3;
+    entry["max_ms"] = stats.max * 1e3;
+    scopes[name] = Json(std::move(entry));
+  }
+  Json::Object document;
+  document["scopes"] = Json(std::move(scopes));
+  return Json(std::move(document));
+}
+
+void profile_reset() {
+  const std::scoped_lock lock(table_mutex());
+  table().clear();
+}
+
+}  // namespace cloudwf::obs

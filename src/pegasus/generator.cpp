@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
 #include "pegasus/detail.hpp"
 
 namespace cloudwf::pegasus {
@@ -28,6 +29,7 @@ WorkflowType parse_type(std::string_view name) {
 }
 
 dag::Workflow generate(WorkflowType type, const GeneratorConfig& config) {
+  const obs::ProfileScope profile("gen.workflow");
   switch (type) {
     case WorkflowType::cybershake: return generate_cybershake(config);
     case WorkflowType::ligo: return generate_ligo(config);

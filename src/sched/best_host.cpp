@@ -1,6 +1,9 @@
 #include "sched/best_host.hpp"
 
+#include <sstream>
+
 #include "common/error.hpp"
+#include "obs/event_bus.hpp"
 
 namespace cloudwf::sched {
 
@@ -38,6 +41,30 @@ BestHost get_best_host(const EftState& state, const sim::Schedule& schedule, dag
 
   if (have_affordable) return BestHost{best_host, best_estimate, true};
   return BestHost{cheapest_host, cheapest_estimate, false};
+}
+
+void emit_decision(obs::EventBus& bus, std::size_t index, const dag::Workflow& wf,
+                   const platform::Platform& platform, dag::TaskId task, sim::VmId vm,
+                   const BestHost& best, std::size_t candidate_count,
+                   std::optional<Dollars> budget_cap) {
+  std::ostringstream detail;
+  detail << "cat=" << platform.category(best.host.category).name
+         << (best.host.fresh ? " fresh" : " reuse") << " candidates=" << candidate_count
+         << " cost=" << best.estimate.cost;
+  if (budget_cap) {
+    detail << " cap=" << *budget_cap;
+    if (!best.affordable) detail << " over-cap";
+  }
+  bus.emit({.kind = obs::EventKind::sched_decision,
+            .time = static_cast<Seconds>(index),
+            .vm = static_cast<std::int64_t>(vm),
+            .task = static_cast<std::int64_t>(task),
+            .name = wf.task(task).name,
+            .detail = detail.str(),
+            // Remaining headroom of this decision's share (negative when the
+            // cheapest fallback blew through the cap).
+            .value = budget_cap ? *budget_cap - best.estimate.cost : 0.0,
+            .duration = best.estimate.eft});
 }
 
 }  // namespace cloudwf::sched

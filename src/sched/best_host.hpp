@@ -7,6 +7,10 @@
 
 #include "sched/eft.hpp"
 
+namespace cloudwf::obs {
+class EventBus;
+}  // namespace cloudwf::obs
+
 namespace cloudwf::sched {
 
 /// Outcome of one getBestHost call.
@@ -25,5 +29,16 @@ struct BestHost {
 /// EFT (the baseline MIN-MIN/HEFT behaviour).
 [[nodiscard]] BestHost get_best_host(const EftState& state, const sim::Schedule& schedule,
                                      dag::TaskId task, std::optional<Dollars> budget_cap);
+
+/// Emits one sched_decision observability event for a committed placement:
+/// the chosen VM, its category, fresh-vs-reuse, EFT, cost, the size of the
+/// candidate set considered, and (when budget-aware) the cap and remaining
+/// headroom.  Callers must gate on `bus.enabled()` — this function builds
+/// strings unconditionally.  \p index is the 0-based decision number; it
+/// becomes the event's timeline (scheduling precedes simulated time).
+void emit_decision(obs::EventBus& bus, std::size_t index, const dag::Workflow& wf,
+                   const platform::Platform& platform, dag::TaskId task, sim::VmId vm,
+                   const BestHost& best, std::size_t candidate_count,
+                   std::optional<Dollars> budget_cap);
 
 }  // namespace cloudwf::sched

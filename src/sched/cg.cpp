@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "dag/analysis.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/profile.hpp"
 #include "sched/best_host.hpp"
 #include "sim/simulator.hpp"
 
@@ -48,6 +50,8 @@ SchedulerOutput CgScheduler::schedule(const SchedulerInput& input) const {
   const dag::Workflow& wf = input.wf;
   require(wf.frozen(), "CgScheduler: workflow must be frozen");
   const platform::Platform& platform = input.platform;
+  const obs::ProfileScope profile("sched.plan");
+  const bool trace = input.bus != nullptr && input.bus->enabled();
 
   // ---- CG: global budget level gb ----------------------------------------
   // c_min: the cheapest execution (all tasks on a single VM of the cheapest
@@ -82,6 +86,7 @@ SchedulerOutput CgScheduler::schedule(const SchedulerInput& input) const {
   for (dag::TaskId t = 0; t < wf.task_count(); ++t) schedule.set_priority(t, ranks[t]);
   EftState state(wf, platform);
 
+  std::size_t decision = 0;
   for (dag::TaskId task : order) {
     // Target spend for this task.
     Dollars ct_min = std::numeric_limits<Dollars>::infinity();
@@ -127,7 +132,12 @@ SchedulerOutput CgScheduler::schedule(const SchedulerInput& input) const {
       }
     }
     CLOUDWF_ASSERT(have);
-    state.commit(task, best.host, best.estimate, schedule);
+    const std::size_t n_candidates = trace ? state.candidates(schedule).size() : 0;
+    const sim::VmId vm = state.commit(task, best.host, best.estimate, schedule);
+    if (trace)
+      emit_decision(*input.bus, decision, wf, platform, task, vm, best, n_candidates,
+                    std::nullopt);
+    ++decision;
   }
 
   if (!refine_) return finish(input, std::move(schedule));

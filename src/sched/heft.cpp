@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "dag/analysis.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/profile.hpp"
 #include "sched/best_host.hpp"
 #include "sched/budget.hpp"
 
@@ -12,6 +14,8 @@ sim::Schedule HeftScheduler::run_list_pass(const SchedulerInput& input, bool bud
                                            const HeftBudgOptions& options) {
   const dag::Workflow& wf = input.wf;
   require(wf.frozen(), "HeftScheduler: workflow must be frozen");
+  const obs::ProfileScope profile("sched.plan");
+  const bool trace = input.bus != nullptr && input.bus->enabled();
 
   const dag::RankParams rank_params{input.platform.mean_speed(), input.platform.bandwidth(),
                                     /*conservative=*/true};
@@ -27,11 +31,16 @@ sim::Schedule HeftScheduler::run_list_pass(const SchedulerInput& input, bool bud
   for (dag::TaskId t = 0; t < wf.task_count(); ++t) schedule.set_priority(t, ranks[t]);
 
   EftState state(wf, input.platform);
+  std::size_t decision = 0;
   for (dag::TaskId task : list_out) {
     const std::optional<Dollars> cap =
         budget_aware ? std::optional<Dollars>(shares.share(task) + pot) : std::nullopt;
     const BestHost best = get_best_host(state, schedule, task, cap);
-    state.commit(task, best.host, best.estimate, schedule);
+    const std::size_t n_candidates = trace ? state.candidates(schedule).size() : 0;
+    const sim::VmId vm = state.commit(task, best.host, best.estimate, schedule);
+    if (trace)
+      emit_decision(*input.bus, decision, wf, input.platform, task, vm, best, n_candidates, cap);
+    ++decision;
     if (budget_aware && options.share_pot) pot += shares.share(task) - best.estimate.cost;
   }
   return schedule;

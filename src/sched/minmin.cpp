@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/profile.hpp"
 #include "sched/best_host.hpp"
 #include "sched/budget.hpp"
 #include "sched/refine.hpp"
@@ -13,6 +15,8 @@ sim::Schedule MinMinScheduler::run_list_pass(const SchedulerInput& input, bool b
                                              std::vector<dag::TaskId>& order_out) {
   const dag::Workflow& wf = input.wf;
   require(wf.frozen(), "MinMinScheduler: workflow must be frozen");
+  const obs::ProfileScope profile("sched.plan");
+  const bool trace = input.bus != nullptr && input.bus->enabled();
 
   BudgetShares shares;
   if (budget_aware) shares = divide_budget(wf, input.platform, input.budget);
@@ -53,7 +57,16 @@ sim::Schedule MinMinScheduler::run_list_pass(const SchedulerInput& input, bool b
     }
 
     const dag::TaskId task = ready[best_index];
-    state.commit(task, best.host, best.estimate, schedule);
+    const std::size_t n_candidates =
+        trace ? ready.size() * state.candidates(schedule).size() : 0;
+    const sim::VmId vm = state.commit(task, best.host, best.estimate, schedule);
+    if (trace) {
+      // MIN-MIN's candidate set is the (ready task, host) cross product.
+      const std::optional<Dollars> cap =
+          budget_aware ? std::optional<Dollars>(shares.share(task) + pot) : std::nullopt;
+      emit_decision(*input.bus, scheduled, wf, input.platform, task, vm, best, n_candidates,
+                    cap);
+    }
     if (budget_aware) pot += shares.share(task) - best.estimate.cost;
     order_out.push_back(task);
     ++scheduled;

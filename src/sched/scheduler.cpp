@@ -1,11 +1,13 @@
 #include "sched/scheduler.hpp"
 
 #include "common/units.hpp"
+#include "obs/profile.hpp"
 #include "sim/simulator.hpp"
 
 namespace cloudwf::sched {
 
 SchedulerOutput Scheduler::finish(const SchedulerInput& input, sim::Schedule schedule) {
+  const obs::ProfileScope profile("sched.predict");
   sim::Schedule compacted = schedule.compacted();
   const sim::Simulator simulator(input.wf, input.platform);
   const sim::SimResult prediction = simulator.run_conservative(compacted);

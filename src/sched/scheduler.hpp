@@ -13,6 +13,10 @@
 #include "sim/result.hpp"
 #include "sim/schedule.hpp"
 
+namespace cloudwf::obs {
+class EventBus;
+}  // namespace cloudwf::obs
+
 namespace cloudwf::sched {
 
 /// Everything a scheduler needs for one decision problem.
@@ -20,6 +24,10 @@ struct SchedulerInput {
   const dag::Workflow& wf;              ///< frozen workflow
   const platform::Platform& platform;   ///< VM categories + datacenter
   Dollars budget = 0;                   ///< B_ini; ignored by budget-unaware baselines
+  /// Optional observability bus: list schedulers emit one sched_decision
+  /// per placement (candidate count, chosen host, budget headroom) when a
+  /// sink is attached.  Null (the default) costs nothing.
+  obs::EventBus* bus = nullptr;
 };
 
 /// A produced schedule plus its deterministic prediction.

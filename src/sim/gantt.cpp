@@ -101,7 +101,8 @@ std::string render_gantt_svg(const dag::Workflow& wf, const SimResult& result,
     const int bar_h = options.lane_height - 6;
 
     svg << "<text x=\"8\" y=\"" << y + bar_h / 2 + 4 << "\" font-size=\"11\">vm" << vm << " ("
-        << record.category << ")</text>\n";
+        << record.category << ") " << std::round(vm_utilization(record) * 100)
+        << "%</text>\n";
     // Boot lead-in (uncharged): light grey.
     svg << "<rect x=\"" << x_of(record.boot_request) << "\" y=\"" << y << "\" width=\""
         << std::max(1.0, x_of(record.boot_done) - x_of(record.boot_request)) << "\" height=\""

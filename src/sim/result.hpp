@@ -3,6 +3,7 @@
 /// \file result.hpp
 /// \brief Outputs of one simulated workflow execution.
 
+#include <cmath>
 #include <vector>
 
 #include "common/units.hpp"
@@ -43,6 +44,17 @@ struct VmRecord {
   bool recovery = false;          ///< provisioned by fault recovery
 };
 
+/// Busy fraction of a VM's billed interval, hardened against degenerate
+/// windows: a VM whose busy window is empty (end == boot_done, e.g. a
+/// recovery VM that never ran anything) or whose record carries non-finite
+/// values reports 0.0 instead of NaN/inf.
+[[nodiscard]] inline double vm_utilization(const VmRecord& record) {
+  const Seconds billed = record.end - record.boot_done;
+  if (!(billed > 0)) return 0.0;
+  const double utilization = record.busy / billed;
+  return std::isfinite(utilization) ? utilization : 0.0;
+}
+
 /// Aggregate transfer statistics.
 struct TransferStats {
   std::size_t count = 0;          ///< completed transfers (uploads + downloads)
@@ -62,6 +74,9 @@ struct SimResult {
   TransferStats transfers;
   std::size_t migrations = 0;  ///< online-mode task interruptions (total)
   FaultStats faults;           ///< all-zero unless faults were injected
+  /// Engine events processed by the main loop (flow completions + timed
+  /// events) — the denominator of the events/sec throughput metric.
+  std::size_t events_processed = 0;
 
   [[nodiscard]] Dollars total_cost() const { return cost.total(); }
   /// True when every task completed and every external output was delivered.

@@ -10,8 +10,16 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/profile.hpp"
 #include "platform/pricing.hpp"
 #include "sim/fluid.hpp"
+
+// Observability emission uses designated initializers and leaves the
+// kind-irrelevant obs::Event fields at their defaults on purpose.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
 
 namespace cloudwf::sim {
 
@@ -32,6 +40,7 @@ struct TransferJob {
   dag::TaskId task = dag::invalid_task;  // producer (uploads) / consumer (downloads)
   Bytes bytes = 0;
   std::size_t attempts = 0;  // failed attempts so far (fault injection)
+  Seconds started = 0;       // last flow start (observability slice origin)
 };
 
 /// Engine events other than flow completions.
@@ -63,7 +72,7 @@ class Execution {
   Execution(const dag::Workflow& wf, const platform::Platform& platform,
             const Schedule& schedule, const dag::WeightRealization& weights,
             const OnlinePolicy* policy, const FaultModel* faults,
-            const RecoveryPolicy* recovery)
+            const RecoveryPolicy* recovery, obs::EventBus* bus)
       : wf_(wf),
         platform_(platform),
         schedule_(schedule),
@@ -71,6 +80,8 @@ class Execution {
         policy_(policy),
         faults_(faults),
         recovery_(recovery),
+        bus_(bus),
+        obs_(bus != nullptr && bus->enabled()),
         fluid_(platform.bandwidth(), platform.dc_aggregate_bandwidth()) {
     if (faults_ != nullptr && faults_->enabled()) injector_.emplace(*faults_);
   }
@@ -123,6 +134,8 @@ class Execution {
   const OnlinePolicy* policy_;         // nullptr = offline (static) execution
   const FaultModel* faults_;           // nullptr = no fault layer
   const RecoveryPolicy* recovery_;     // set whenever faults_ is
+  obs::EventBus* bus_;                 // nullptr = no observability
+  const bool obs_;                     // cached bus_ && bus_->enabled()
   std::optional<FaultInjector> injector_;  // engaged only for an enabled model
   FluidNetwork fluid_;
 
@@ -143,6 +156,7 @@ class Execution {
   std::size_t tasks_finished_ = 0;
   std::size_t tasks_terminal_ = 0;  // finished or failed-before-finishing
   std::size_t pending_retries_ = 0;
+  std::size_t events_processed_ = 0;
   std::size_t transfers_done_ = 0;
   Bytes transfer_bytes_ = 0;
   std::size_t migrations_ = 0;
@@ -154,6 +168,25 @@ class Execution {
   void push_event(Seconds time, Event::Kind kind, VmId vm, dag::TaskId task,
                   std::uint32_t epoch = 0, std::size_t job = 0) {
     events_.push(Event{time, next_seq_++, kind, vm, task, epoch, job});
+  }
+
+  /// Observability emission.  Callers must test `obs_` *before* building the
+  /// Event (strings!): the disabled path is a single cached bool test.
+  void emit(obs::Event event) const { bus_->emit(event); }
+
+  [[nodiscard]] std::int64_t obs_vm(VmId vm) const {
+    return vm == invalid_vm ? obs::no_id : static_cast<std::int64_t>(vm);
+  }
+
+  [[nodiscard]] std::int64_t obs_task(dag::TaskId task) const {
+    return task == dag::invalid_task ? obs::no_id : static_cast<std::int64_t>(task);
+  }
+
+  /// Transfer lane of a job relative to its VM ("up" or "down").
+  [[nodiscard]] static const char* lane_of(const TransferJob& job) {
+    const bool is_upload =
+        job.kind == JobKind::edge_upload || job.kind == JobKind::ext_output_upload;
+    return is_upload ? "up" : "down";
   }
 
   void gate_update(dag::TaskId task, Seconds time, dag::TaskId cause) {
@@ -237,6 +270,17 @@ void Execution::init() {
     if (wf_.external_input_of(t) > 0) ++tasks_[t].remote_in_pending;
   }
 
+  if (obs_) {
+    // The static placement, one dispatch per task in list order.
+    for (VmId v = 0; v < plans_.size(); ++v)
+      for (dag::TaskId t : plans_[v].tasks)
+        emit({.kind = obs::EventKind::task_dispatch,
+              .time = now_,
+              .vm = obs_vm(v),
+              .task = obs_task(t),
+              .name = wf_.task(t).name});
+  }
+
   // Book every VM whose first task already has its cross-VM inputs at the DC
   // (entry tasks: external inputs wait at the DC from time zero).
   for (VmId v = 0; v < plans_.size(); ++v) maybe_request_boot(v);
@@ -250,6 +294,11 @@ void Execution::request_boot(VmId vm) {
   state.boot_attempts = 1;
   state.boot_done = now_ + platform_.boot_delay();
   push_event(state.boot_done, Event::Kind::boot_done, vm, dag::invalid_task);
+  if (obs_)
+    emit({.kind = obs::EventKind::vm_boot_request,
+          .time = now_,
+          .vm = obs_vm(vm),
+          .detail = platform_.category(plans_[vm].category).name});
 }
 
 void Execution::maybe_request_boot(VmId vm) {
@@ -269,6 +318,12 @@ void Execution::on_boot_done(VmId vm) {
   VmState& state = vms_[vm];
   if (injector_ && injector_->boot_fails()) {
     ++stats_.boot_failures;
+    if (obs_)
+      emit({.kind = obs::EventKind::fault_injected,
+            .time = now_,
+            .vm = obs_vm(vm),
+            .detail = "boot_failure",
+            .value = static_cast<double>(state.boot_attempts)});
     if (state.boot_attempts < recovery_->max_boot_attempts) {
       // Re-provision: a fresh acquisition after the IaaS acquisition delay.
       ++state.boot_attempts;
@@ -281,6 +336,13 @@ void Execution::on_boot_done(VmId vm) {
   }
   state.boot = BootState::up;
   state.end = std::max(state.end, now_);
+  if (obs_)
+    emit({.kind = obs::EventKind::vm_boot_done,
+          .time = now_,
+          .vm = obs_vm(vm),
+          .name = "boot",
+          .detail = platform_.category(plans_[vm].category).name,
+          .duration = now_ - state.boot_request});
   if (injector_) {
     // Billed uptime until an injected crash; the event is ignored if the VM
     // drains all of its work before the crash fires.
@@ -331,9 +393,19 @@ void Execution::pump_link(VmId vm, Direction dir) {
   const std::size_t job_index = queue.front();
   queue.pop_front();
   busy = true;
-  const FlowId flow = fluid_.start_flow(jobs_[job_index].bytes, now_);
+  TransferJob& job = jobs_[job_index];
+  job.started = now_;
+  const FlowId flow = fluid_.start_flow(job.bytes, now_);
   if (flow_to_job_.size() <= flow) flow_to_job_.resize(flow + 1);
   flow_to_job_[flow] = job_index;
+  if (obs_)
+    emit({.kind = obs::EventKind::transfer_start,
+          .time = now_,
+          .vm = obs_vm(job.vm),
+          .task = obs_task(job.task),
+          .name = wf_.task(job.task).name,
+          .detail = lane_of(job),
+          .value = job.bytes});
 }
 
 void Execution::on_flow_complete(FlowId flow) {
@@ -356,14 +428,35 @@ void Execution::on_flow_complete(FlowId flow) {
     ++stats_.transfer_failures;
     TransferJob& stored = jobs_[job_index];
     ++stored.attempts;
+    if (obs_)
+      emit({.kind = obs::EventKind::fault_injected,
+            .time = now_,
+            .vm = obs_vm(job.vm),
+            .task = obs_task(job.task),
+            .detail = "transfer_failure",
+            .value = static_cast<double>(stored.attempts)});
     if (stored.attempts <= recovery_->max_transfer_retries) {
       // Exponential backoff: retry n waits base * 2^(n-1) seconds.
       const Seconds backoff = recovery_->transfer_backoff_base *
                               std::ldexp(1.0, static_cast<int>(stored.attempts) - 1);
       ++pending_retries_;
       push_event(now_ + backoff, Event::Kind::transfer_retry, job.vm, job.task, 0, job_index);
+      if (obs_)
+        emit({.kind = obs::EventKind::transfer_retry,
+              .time = now_,
+              .vm = obs_vm(job.vm),
+              .task = obs_task(job.task),
+              .name = wf_.task(job.task).name,
+              .detail = lane_of(job),
+              .value = backoff});
     } else {
       ++stats_.transfer_aborts;
+      if (obs_)
+        emit({.kind = obs::EventKind::fault_injected,
+              .time = now_,
+              .vm = obs_vm(job.vm),
+              .task = obs_task(job.task),
+              .detail = "transfer_abort"});
       abort_transfer(stored);
     }
     return;
@@ -371,6 +464,15 @@ void Execution::on_flow_complete(FlowId flow) {
 
   ++transfers_done_;
   transfer_bytes_ += job.bytes;
+  if (obs_)
+    emit({.kind = obs::EventKind::transfer_done,
+          .time = now_,
+          .vm = obs_vm(job.vm),
+          .task = obs_task(job.task),
+          .name = wf_.task(job.task).name,
+          .detail = lane_of(job),
+          .value = job.bytes,
+          .duration = now_ - job.started});
 
   if (is_upload)
     on_upload_done(job);
@@ -414,6 +516,12 @@ void Execution::fail_task(dag::TaskId task) {
   ts.failed = true;
   records_[task].failed = true;
   ++stats_.failed_tasks;
+  if (obs_)
+    emit({.kind = obs::EventKind::task_fail,
+          .time = now_,
+          .vm = obs_vm(vm_of_[task]),
+          .task = obs_task(task),
+          .name = wf_.task(task).name});
   if (!ts.finished) {
     CLOUDWF_ASSERT(!ts.started);  // running tasks are interrupted before failing
     ++tasks_terminal_;
@@ -491,6 +599,13 @@ void Execution::try_start_tasks(VmId vm) {
     records_[t].bound_by = ts.gate_task;
     state.busy += duration;
     push_event(now_ + duration, Event::Kind::task_done, vm, t, ts.epoch);
+    if (obs_)
+      emit({.kind = obs::EventKind::task_start,
+            .time = now_,
+            .vm = obs_vm(vm),
+            .task = obs_task(t),
+            .name = wf_.task(t).name,
+            .duration = duration});
 
     // Online policy: arm a timeout when the actual draw exceeds the
     // tolerated compute time on this host (the engine exploits its knowledge
@@ -518,6 +633,13 @@ void Execution::on_task_done(VmId vm, dag::TaskId task) {
   ++state.tasks_done;
   ++state.free_procs;
   state.end = std::max(state.end, now_);
+  if (obs_)
+    emit({.kind = obs::EventKind::task_finish,
+          .time = now_,
+          .vm = obs_vm(vm),
+          .task = obs_task(task),
+          .name = wf_.task(task).name,
+          .duration = now_ - records_[task].start});
 
   for (dag::EdgeId e : wf_.out_edges(task)) {
     const dag::Edge& edge = wf_.edge(e);
@@ -615,6 +737,13 @@ void Execution::migrate(VmId from, dag::TaskId task) {
   vms_.back().free_procs = platform_.category(fastest).processors;
   vm_of_[task] = rescue;
   records_[task].vm = rescue;
+  if (obs_)
+    emit({.kind = obs::EventKind::task_dispatch,
+          .time = now_,
+          .vm = obs_vm(rescue),
+          .task = obs_task(task),
+          .name = wf_.task(task).name,
+          .detail = "migration"});
 
   // Re-stage the inputs: data already at the datacenter is re-downloaded;
   // data that had been local to the old VM must be uploaded first.
@@ -672,6 +801,11 @@ void Execution::on_crash(VmId vm) {
   state.crashed = true;
   state.dead = true;
   state.end = std::max(state.end, now_);  // billing freezes here
+  if (obs_)
+    emit({.kind = obs::EventKind::fault_injected,
+          .time = now_,
+          .vm = obs_vm(vm),
+          .detail = "vm_crash"});
   recover_tasks(vm, /*allow_provisioning=*/true);
 }
 
@@ -744,9 +878,22 @@ void Execution::recover_tasks(VmId from, bool allow_provisioning) {
     }
   }
 
+  if (obs_)
+    emit({.kind = obs::EventKind::fault_recovered,
+          .time = now_,
+          .vm = obs_vm(target),
+          .detail = fresh ? "replacement_vm" : "repack",
+          .value = static_cast<double>(pending.size())});
   for (dag::TaskId t : pending) {
     vm_of_[t] = target;
     records_[t].vm = target;
+    if (obs_)
+      emit({.kind = obs::EventKind::task_dispatch,
+            .time = now_,
+            .vm = obs_vm(target),
+            .task = obs_task(t),
+            .name = wf_.task(t).name,
+            .detail = "recovery"});
   }
 
   if (!fresh) {
@@ -841,6 +988,7 @@ void Execution::enqueue_moved_downloads(VmId vm, const std::vector<dag::TaskId>&
 }
 
 void Execution::main_loop() {
+  const obs::ProfileScope scope("sim.event_loop");
   while (tasks_terminal_ < wf_.task_count() || fluid_.active_count() > 0 ||
          pending_retries_ > 0) {
     const Seconds flow_time = fluid_.next_completion();
@@ -851,13 +999,20 @@ void Execution::main_loop() {
     }
     if (flow_time <= event_time) {
       now_ = flow_time;
-      for (FlowId flow : fluid_.advance(now_)) on_flow_complete(flow);
+      for (FlowId flow : fluid_.advance(now_)) {
+        ++events_processed_;
+        on_flow_complete(flow);
+      }
     } else {
       const Event event = events_.top();
       events_.pop();
       now_ = event.time;
+      ++events_processed_;
       // Keep the fluid clock in sync so rates stay correct.
-      for (FlowId flow : fluid_.advance(now_)) on_flow_complete(flow);
+      for (FlowId flow : fluid_.advance(now_)) {
+        ++events_processed_;
+        on_flow_complete(flow);
+      }
       switch (event.kind) {
         case Event::Kind::boot_done: on_boot_done(event.vm); break;
         case Event::Kind::task_done:
@@ -891,6 +1046,7 @@ SimResult Execution::finalize() const {
   result.vms.resize(vms_.size());
   result.migrations = migrations_;
   result.faults = stats_;
+  result.events_processed = events_processed_;
 
   Seconds start_first = infinity;
   Seconds end_last = 0;
@@ -923,6 +1079,26 @@ SimResult Execution::finalize() const {
     result.cost.vm_time += vm_total - category.setup_cost;
     result.cost.vm_setup += category.setup_cost;
     if (state.recovery_vm) result.faults.recovery_cost += vm_total;
+    if (obs_) {
+      // Billing-quantum boundaries crossed by this VM's billed interval,
+      // synthesized at shutdown (the engine itself bills lazily).  Capped so
+      // a pathological quantum cannot flood the trace.
+      const Seconds quantum = platform_.billing_quantum();
+      if (quantum > 0) {
+        const double crossed = std::floor((record.end - state.boot_done) / quantum);
+        const double ticks = std::min(crossed, 1000.0);
+        for (double k = 1; k <= ticks; ++k)
+          emit({.kind = obs::EventKind::billing_tick,
+                .time = state.boot_done + k * quantum,
+                .vm = obs_vm(v),
+                .value = k});
+      }
+      emit({.kind = obs::EventKind::vm_shutdown,
+            .time = record.end,
+            .vm = obs_vm(v),
+            .detail = category.name,
+            .value = record.end - state.boot_done});
+    }
   }
   CLOUDWF_ASSERT(result.used_vms > 0 || stats_.failed_tasks > 0);
   if (start_first == infinity) start_first = 0;  // nothing ever came up
@@ -948,18 +1124,21 @@ SimResult Execution::finalize() const {
 SimResult Execution::run() {
   init();
   main_loop();
-  return finalize();
+  SimResult result = finalize();
+  if (obs_) bus_->flush();
+  return result;
 }
 
 }  // namespace
 
-Simulator::Simulator(const dag::Workflow& wf, const platform::Platform& platform)
-    : wf_(wf), platform_(platform) {
+Simulator::Simulator(const dag::Workflow& wf, const platform::Platform& platform,
+                     obs::EventBus* bus)
+    : wf_(wf), platform_(platform), bus_(bus) {
   require(wf.frozen(), "Simulator: workflow must be frozen");
 }
 
 SimResult Simulator::run(const Schedule& schedule, const dag::WeightRealization& weights) const {
-  Execution execution(wf_, platform_, schedule, weights, nullptr, nullptr, nullptr);
+  Execution execution(wf_, platform_, schedule, weights, nullptr, nullptr, nullptr, bus_);
   return execution.run();
 }
 
@@ -967,7 +1146,7 @@ SimResult Simulator::run_online(const Schedule& schedule, const dag::WeightReali
                                 const OnlinePolicy& policy) const {
   require(policy.timeout_sigmas >= 0, "run_online: negative timeout_sigmas");
   require(policy.min_speedup >= 1.0, "run_online: min_speedup must be >= 1");
-  Execution execution(wf_, platform_, schedule, weights, &policy, nullptr, nullptr);
+  Execution execution(wf_, platform_, schedule, weights, &policy, nullptr, nullptr, bus_);
   return execution.run();
 }
 
@@ -977,7 +1156,7 @@ SimResult Simulator::run_with_faults(const Schedule& schedule,
                                      const RecoveryPolicy& recovery) const {
   faults.validate();
   recovery.validate();
-  Execution execution(wf_, platform_, schedule, weights, nullptr, &faults, &recovery);
+  Execution execution(wf_, platform_, schedule, weights, nullptr, &faults, &recovery, bus_);
   return execution.run();
 }
 

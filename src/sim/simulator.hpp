@@ -35,6 +35,10 @@
 #include "sim/result.hpp"
 #include "sim/schedule.hpp"
 
+namespace cloudwf::obs {
+class EventBus;
+}  // namespace cloudwf::obs
+
 namespace cloudwf::sim {
 
 /// Online re-scheduling policy (the paper's Section VI future work).
@@ -61,8 +65,12 @@ struct OnlinePolicy {
 /// Executes schedules for one (workflow, platform) pair.
 class Simulator {
  public:
-  /// Both references must outlive the simulator.
-  Simulator(const dag::Workflow& wf, const platform::Platform& platform);
+  /// Both references must outlive the simulator.  When \p bus is non-null
+  /// and has sinks attached, every run emits the full observability event
+  /// stream (obs/events.hpp) through it; a null or sink-less bus costs one
+  /// cached bool test per run (the <2% contract of bench/bench_obs.cpp).
+  Simulator(const dag::Workflow& wf, const platform::Platform& platform,
+            obs::EventBus* bus = nullptr);
 
   /// Runs \p schedule with concrete \p weights.
   /// Throws ValidationError if the schedule is malformed or deadlocks.
@@ -96,6 +104,7 @@ class Simulator {
  private:
   const dag::Workflow& wf_;
   const platform::Platform& platform_;
+  obs::EventBus* bus_;
 };
 
 /// Extracts the schedule's critical path from a SimResult: the chain of

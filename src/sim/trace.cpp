@@ -1,11 +1,13 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
 #include "common/atomic_file.hpp"
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace cloudwf::sim {
 
@@ -40,7 +42,6 @@ void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
     if (record.task_count == 0 && !record.crashed && !record.recovery &&
         record.boot_attempts <= 1)
       continue;
-    const Seconds billed = record.end - record.boot_done;
     csv.field(static_cast<std::size_t>(v))
         .field(static_cast<std::size_t>(record.category))
         .field(record.boot_request)
@@ -48,7 +49,7 @@ void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
         .field(record.end)
         .field(record.busy)
         .field(record.task_count)
-        .field(billed > 0 ? record.busy / billed : 0.0)
+        .field(vm_utilization(record))
         .field(record.boot_attempts)
         .field(record.crashed ? 1 : 0)
         .field(record.recovery ? 1 : 0);
@@ -133,6 +134,41 @@ std::string result_summary_text(const SimResult& result) {
        << "failed tasks  : " << f.failed_tasks << '\n';
   }
   return os.str();
+}
+
+void record_run_metrics(obs::MetricsRegistry& metrics, const SimResult& result,
+                        Dollars budget) {
+  // Queue wait: how long each task sat ready on its VM before computing —
+  // start minus the later of "inputs at the DC" and "VM up".  Failed tasks
+  // never started, so they have no wait.
+  for (const TaskRecord& record : result.tasks) {
+    if (record.failed || record.vm == invalid_vm || record.vm >= result.vms.size()) continue;
+    const Seconds ready = std::max(record.inputs_at_dc, result.vms[record.vm].boot_done);
+    metrics.observe("queue_wait_seconds", std::max(0.0, record.start - ready));
+  }
+  std::size_t failed = 0;
+  for (const TaskRecord& record : result.tasks)
+    if (record.failed) ++failed;
+
+  for (VmId v = 0; v < result.vms.size(); ++v) {
+    const VmRecord& record = result.vms[v];
+    if (record.task_count == 0 && !record.crashed && !record.recovery) continue;
+    metrics.observe("vm_utilization", vm_utilization(record));
+  }
+
+  metrics.count("tasks_completed", static_cast<double>(result.tasks.size() - failed));
+  metrics.count("tasks_failed", static_cast<double>(failed));
+  metrics.count("transfers", static_cast<double>(result.transfers.count));
+  metrics.count("transfer_retries", static_cast<double>(result.faults.transfer_failures));
+  metrics.count("vm_crashes", static_cast<double>(result.faults.crashes));
+  metrics.count("migrations", static_cast<double>(result.migrations));
+  metrics.count("sim_events", static_cast<double>(result.events_processed));
+
+  metrics.gauge("makespan_seconds", result.makespan);
+  metrics.gauge("cost_dollars", result.total_cost());
+  metrics.gauge("used_vms", static_cast<double>(result.used_vms));
+  if (budget > 0)
+    metrics.observe("budget_headroom", (budget - result.total_cost()) / budget);
 }
 
 }  // namespace cloudwf::sim

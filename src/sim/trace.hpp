@@ -9,6 +9,10 @@
 #include "dag/workflow.hpp"
 #include "sim/result.hpp"
 
+namespace cloudwf::obs {
+class MetricsRegistry;
+}  // namespace cloudwf::obs
+
 namespace cloudwf::sim {
 
 /// Writes one CSV row per task: name, vm, start, finish, duration, bound_by.
@@ -33,5 +37,11 @@ void save_result_summary_json(const SimResult& result, const std::string& path);
 
 /// Pretty multi-line summary for terminal output (examples/quickstart).
 [[nodiscard]] std::string result_summary_text(const SimResult& result);
+
+/// Records the run's quantitative story into an obs::MetricsRegistry:
+/// per-task queue-wait and per-VM utilization histograms, transfer/fault
+/// counters, and makespan / cost / budget-headroom gauges.  \p budget <= 0
+/// skips the headroom gauge (no budget to measure against).
+void record_run_metrics(obs::MetricsRegistry& metrics, const SimResult& result, Dollars budget);
 
 }  // namespace cloudwf::sim

@@ -5,14 +5,26 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
+#include "common/json.hpp"
+
 namespace cloudwf {
 namespace {
 
 class LogTest : public ::testing::Test {
  protected:
-  void SetUp() override { previous_ = log_threshold(); }
-  void TearDown() override { set_log_threshold(previous_); }
+  void SetUp() override {
+    previous_ = log_threshold();
+    previous_json_ = log_json();
+  }
+  void TearDown() override {
+    set_log_threshold(previous_);
+    set_log_json(previous_json_);
+  }
   LogLevel previous_{};
+  bool previous_json_ = false;
 };
 
 TEST_F(LogTest, ThresholdIsProgrammable) {
@@ -49,6 +61,63 @@ TEST_F(LogTest, FormattingConcatenatesArguments) {
   ::testing::internal::CaptureStderr();
   log_debug("x=", 1.5, " y=", "z");
   EXPECT_NE(::testing::internal::GetCapturedStderr().find("x=1.5 y=z"), std::string::npos);
+}
+
+TEST_F(LogTest, ComponentTagPrefixesPlainMessages) {
+  set_log_threshold(LogLevel::info);
+  set_log_json(false);
+  ::testing::internal::CaptureStderr();
+  log_info_c("runner", "cell ", 3, "/", 8);
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[cloudwf INFO] runner: cell 3/8"), std::string::npos);
+}
+
+/// Splits captured stderr into non-empty lines.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  for (std::string line; std::getline(stream, line);)
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+TEST_F(LogTest, JsonModeEmitsOneParsableObjectPerLine) {
+  set_log_threshold(LogLevel::info);
+  set_log_json(true);
+  ::testing::internal::CaptureStderr();
+  log_info_c("runner", "first record");
+  log_warn("plain \"quoted\" message\nwith newline");
+  const std::vector<std::string> lines =
+      lines_of(::testing::internal::GetCapturedStderr());
+  ASSERT_EQ(lines.size(), 2u);
+
+  const Json first = Json::parse(lines[0]);
+  EXPECT_EQ(first.at("level").as_string(), "info");
+  EXPECT_EQ(first.at("component").as_string(), "runner");
+  EXPECT_EQ(first.at("msg").as_string(), "first record");
+  // ISO-8601 UTC timestamp: "YYYY-MM-DDTHH:MM:SS.mmmZ".
+  const std::string ts = first.at("ts").as_string();
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+
+  // Quotes and newlines are escaped, so the record stays one line.
+  const Json second = Json::parse(lines[1]);
+  EXPECT_EQ(second.at("level").as_string(), "warn");
+  EXPECT_FALSE(second.as_object().contains("component"));
+  EXPECT_EQ(second.at("msg").as_string(), "plain \"quoted\" message\nwith newline");
+}
+
+TEST_F(LogTest, JsonModeHonoursTheThreshold) {
+  set_log_threshold(LogLevel::error);
+  set_log_json(true);
+  ::testing::internal::CaptureStderr();
+  log_info("suppressed");
+  log_error("kept");
+  const std::vector<std::string> lines =
+      lines_of(::testing::internal::GetCapturedStderr());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(Json::parse(lines[0]).at("msg").as_string(), "kept");
 }
 
 }  // namespace

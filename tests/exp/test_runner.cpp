@@ -127,10 +127,13 @@ TEST(Runner, CsvRoundTripsThroughParser) {
 
   ASSERT_EQ(rows.size(), requests.size() + 1);
   const std::vector<std::string>& header = rows[0];
-  EXPECT_EQ(header.size(), 27u);
+  EXPECT_EQ(header.size(), 34u);  // 27 original + 7 appended obs columns
   for (const char* column : {"status", "error_kind", "error_message", "success_fraction",
                              "budget_violation_fraction", "crashes_mean", "failed_tasks_mean",
-                             "recovery_cost_mean", "wasted_compute_mean"})
+                             "recovery_cost_mean", "wasted_compute_mean", "queue_wait_p50",
+                             "queue_wait_p95", "queue_wait_p99", "vm_util_mean",
+                             "transfer_retries_mean", "budget_headroom_mean",
+                             "sim_events_per_sec"})
     EXPECT_NE(std::find(header.begin(), header.end(), column), header.end()) << column;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     ASSERT_EQ(rows[i + 1].size(), header.size()) << i;

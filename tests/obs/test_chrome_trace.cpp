@@ -1,0 +1,184 @@
+/// \file test_chrome_trace.cpp
+/// \brief The Chrome trace-event exporter round-trips through common/json
+/// and obeys the Trace Event Format subset cloudwf emits (obs/chrome_trace).
+
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/event_bus.hpp"
+
+namespace cloudwf::obs {
+namespace {
+
+/// A miniature but representative run: one VM boots, computes a task,
+/// uploads its output, hits a billing tick and shuts down; the scheduler
+/// decided the placement; one fault instant on the global track.
+void emit_sample_run(EventBus& bus) {
+  bus.emit({.kind = EventKind::sched_decision,
+            .time = 0,
+            .vm = 0,
+            .task = 0,
+            .name = "A",
+            .detail = "cat=slow fresh candidates=2 cost=1.5",
+            .value = 0.5,
+            .duration = 110.0});
+  bus.emit({.kind = EventKind::vm_boot_request, .time = 0.0, .vm = 0, .detail = "slow"});
+  bus.emit({.kind = EventKind::vm_boot_done,
+            .time = 10.0,
+            .vm = 0,
+            .name = "boot",
+            .detail = "slow",
+            .duration = 10.0});
+  bus.emit({.kind = EventKind::task_finish,
+            .time = 110.0,
+            .vm = 0,
+            .task = 0,
+            .name = "A",
+            .duration = 100.0});
+  bus.emit({.kind = EventKind::transfer_done,
+            .time = 112.0,
+            .vm = 0,
+            .task = 0,
+            .name = "A->out",
+            .detail = "up",
+            .value = 2e6,
+            .duration = 2.0});
+  bus.emit({.kind = EventKind::fault_injected, .time = 115.0, .detail = "vm_crash"});
+  bus.emit({.kind = EventKind::billing_tick, .time = 3600.0, .vm = 0, .value = 1});
+  bus.emit(
+      {.kind = EventKind::vm_shutdown, .time = 3610.0, .vm = 0, .detail = "slow",
+       .value = 3600.0});
+}
+
+TEST(ChromeTrace, DocumentShapeAndRoundTrip) {
+  EventBus bus;
+  ChromeTraceSink trace;
+  bus.add_sink(&trace);
+  emit_sample_run(bus);
+
+  const Json doc = trace.trace_json();
+  // Round-trip: dump -> parse -> identical dump.
+  const std::string once = doc.dump(1);
+  const Json reparsed = Json::parse(once);
+  EXPECT_EQ(reparsed.dump(1), once);
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const Json::Array& events = doc.at("traceEvents").as_array();
+  EXPECT_EQ(events.size(), trace.record_count());
+  ASSERT_FALSE(events.empty());
+}
+
+TEST(ChromeTrace, EventRecordsFollowTheFormat) {
+  EventBus bus;
+  ChromeTraceSink trace;
+  bus.add_sink(&trace);
+  emit_sample_run(bus);
+
+  const Json doc = trace.trace_json();
+  std::set<double> named_tids;
+  std::size_t slices = 0;
+  std::size_t instants = 0;
+  for (const Json& record : doc.at("traceEvents").as_array()) {
+    const std::string ph = record.at("ph").as_string();
+    ASSERT_TRUE(ph == "M" || ph == "X" || ph == "i") << "unexpected phase " << ph;
+    EXPECT_TRUE(record.as_object().contains("pid"));
+    if (ph == "M") {
+      if (record.at("name").as_string() == "thread_name")
+        named_tids.insert(record.at("tid").as_number());
+      continue;
+    }
+    // Every event lands on a track announced by thread_name metadata
+    // earlier in the array.
+    EXPECT_TRUE(named_tids.contains(record.at("tid").as_number()));
+    EXPECT_GE(record.at("ts").as_number(), 0.0);
+    if (ph == "X") {
+      ++slices;
+      EXPECT_GE(record.at("dur").as_number(), 0.0);
+    } else {
+      ++instants;
+      EXPECT_EQ(record.at("s").as_string(), "t");
+    }
+  }
+  // boot + task + transfer slices; boot_request, fault, billing tick,
+  // shutdown and the sched decision as instants.
+  EXPECT_EQ(slices, 3u);
+  EXPECT_EQ(instants, 5u);
+}
+
+TEST(ChromeTrace, TimestampsAreMicrosecondsOfSimTime) {
+  EventBus bus;
+  ChromeTraceSink trace;
+  bus.add_sink(&trace);
+  bus.emit({.kind = EventKind::task_finish,
+            .time = 110.0,
+            .vm = 0,
+            .task = 0,
+            .name = "A",
+            .duration = 100.0});
+
+  const Json doc = trace.trace_json();
+  for (const Json& record : doc.at("traceEvents").as_array()) {
+    if (record.at("ph").as_string() != "X") continue;
+    // A complete slice starts at (time - duration) and spans duration.
+    EXPECT_DOUBLE_EQ(record.at("ts").as_number(), (110.0 - 100.0) * 1e6);
+    EXPECT_DOUBLE_EQ(record.at("dur").as_number(), 100.0 * 1e6);
+    return;
+  }
+  FAIL() << "no slice found";
+}
+
+TEST(ChromeTrace, ArgsCarryTheEventPayload) {
+  EventBus bus;
+  ChromeTraceSink trace;
+  bus.add_sink(&trace);
+  bus.emit({.kind = EventKind::transfer_done,
+            .time = 5.0,
+            .vm = 2,
+            .task = 7,
+            .name = "B->C",
+            .detail = "down",
+            .value = 1e6,
+            .duration = 1.0});
+
+  bool found = false;
+  const Json doc = trace.trace_json();
+  for (const Json& record : doc.at("traceEvents").as_array()) {
+    if (record.at("ph").as_string() != "X") continue;
+    const Json& args = record.at("args");
+    EXPECT_EQ(args.at("kind").as_string(), "transfer_done");
+    EXPECT_DOUBLE_EQ(args.at("vm").as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(args.at("task").as_number(), 7.0);
+    EXPECT_EQ(args.at("detail").as_string(), "down");
+    EXPECT_DOUBLE_EQ(args.at("value").as_number(), 1e6);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, WriteProducesParsableFile) {
+  EventBus bus;
+  ChromeTraceSink trace;
+  bus.add_sink(&trace);
+  emit_sample_run(bus);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "cloudwf_trace_test.json";
+  trace.write(path.string());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), trace.record_count());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cloudwf::obs

@@ -1,0 +1,77 @@
+/// \file test_profile.cpp
+/// \brief Unit tests for the RAII profiling scopes (obs/profile).
+
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudwf::obs {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = profiling_enabled();
+    profile_reset();
+  }
+  void TearDown() override {
+    set_profiling(previous_);
+    profile_reset();
+  }
+  bool previous_ = false;
+};
+
+TEST_F(ProfileTest, DisabledScopesRecordNothing) {
+  set_profiling(false);
+  { const ProfileScope scope("idle"); }
+  EXPECT_TRUE(profile_report().empty());
+  EXPECT_TRUE(profile_json().at("scopes").as_object().size() == 0u);
+}
+
+TEST_F(ProfileTest, EnabledScopesAccumulateCallsAndTime) {
+  set_profiling(true);
+  for (int i = 0; i < 3; ++i) {
+    const ProfileScope scope("work");
+  }
+  const Json json = profile_json();
+  const Json& work = json.at("scopes").at("work");
+  EXPECT_DOUBLE_EQ(work.at("calls").as_number(), 3.0);
+  EXPECT_GE(work.at("total_ms").as_number(), 0.0);
+  EXPECT_GE(work.at("max_ms").as_number(), work.at("mean_ms").as_number());
+
+  const std::string report = profile_report();
+  EXPECT_NE(report.find("work"), std::string::npos);
+  EXPECT_NE(report.find("3"), std::string::npos);
+}
+
+TEST_F(ProfileTest, ExplicitRecordFeedsTheTable) {
+  set_profiling(true);
+  profile_record("manual", 0.25);
+  profile_record("manual", 0.75);
+  const Json json = profile_json();
+  const Json& manual = json.at("scopes").at("manual");
+  EXPECT_DOUBLE_EQ(manual.at("calls").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(manual.at("total_ms").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(manual.at("mean_ms").as_number(), 500.0);
+  EXPECT_DOUBLE_EQ(manual.at("min_ms").as_number(), 250.0);
+  EXPECT_DOUBLE_EQ(manual.at("max_ms").as_number(), 750.0);
+}
+
+TEST_F(ProfileTest, ResetClearsAllScopes) {
+  set_profiling(true);
+  profile_record("gone", 0.1);
+  profile_reset();
+  EXPECT_TRUE(profile_report().empty());
+}
+
+TEST_F(ProfileTest, EnabledFlagIsCapturedAtConstruction) {
+  set_profiling(false);
+  {
+    const ProfileScope scope("toggled");
+    set_profiling(true);  // must not unbalance the scope
+  }
+  EXPECT_TRUE(profile_json().at("scopes").as_object().size() == 0u);
+}
+
+}  // namespace
+}  // namespace cloudwf::obs

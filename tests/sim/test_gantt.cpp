@@ -75,6 +75,46 @@ TEST(Gantt, TitleOverrideAndOptionsValidated) {
   EXPECT_THROW((void)render_gantt_svg(wf, result, options), InvalidArgument);
 }
 
+/// Regression: a VM whose billed window is empty (end == boot_done — e.g. a
+/// recovery VM that never ran a task) used to divide by zero and print "nan%"
+/// in the lane label and utilization CSV column.  vm_utilization now clamps
+/// the degenerate window to 0.
+TEST(Gantt, DegenerateVmWindowRendersZeroUtilization) {
+  dag::Workflow wf("degenerate");
+  wf.add_task("T", 100, 0);
+  wf.freeze();
+
+  SimResult result;
+  result.start_first = 0;
+  result.end_last = 20;
+  result.makespan = 20;
+  TaskRecord task;
+  task.vm = 0;
+  task.start = 10;
+  task.finish = 20;
+  result.tasks.push_back(task);
+  VmRecord busy;  // billed 10..20, busy 10 -> 100%
+  busy.boot_done = 10;
+  busy.end = 20;
+  busy.busy = 10;
+  busy.task_count = 1;
+  result.vms.push_back(busy);
+  VmRecord degenerate;  // lane-worthy (end > 0) but zero-length billed window
+  degenerate.boot_request = 5;
+  degenerate.boot_done = 15;
+  degenerate.end = 15;
+  degenerate.recovery = true;
+  result.vms.push_back(degenerate);
+
+  EXPECT_DOUBLE_EQ(vm_utilization(degenerate), 0.0);
+
+  const std::string svg = render_gantt_svg(wf, result);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+  EXPECT_NE(svg.find("0%"), std::string::npos);
+  EXPECT_NO_THROW((void)parse_xml(svg));
+}
+
 TEST(Gantt, MarksRestartsInTooltips) {
   dag::Workflow wf("tail");
   wf.add_task("T", 100, 50);

@@ -308,6 +308,24 @@ TEST(Simulator, TraceExportsAreWellFormed) {
   EXPECT_NE(text.find("makespan"), std::string::npos);
 }
 
+/// Regression: recovery VMs with an empty billed window (end == boot_done)
+/// used to export "nan" in the utilization column.
+TEST(Simulator, VmTraceHandlesDegenerateBilledWindow) {
+  SimResult r;
+  VmRecord degenerate;
+  degenerate.boot_done = 15;
+  degenerate.end = 15;
+  degenerate.recovery = true;
+  r.vms.push_back(degenerate);
+
+  std::ostringstream vms_csv;
+  write_vm_trace_csv(r, vms_csv);
+  const std::string text = vms_csv.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);  // header + 1
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
 TEST(Simulator, UnfrozenWorkflowRejected) {
   dag::Workflow wf("raw");
   wf.add_task("A", 1, 0);

@@ -7,8 +7,11 @@
 ///   info      <wf.{json,dax}>
 ///   convert   <in.{json,dax}> <out.{json,dax,dot}>
 ///   schedule  <wf> --algorithm heft-budg --budget 3.0 [--gantt out.svg]
-///             [--trace-dir DIR]
+///             [--trace-dir DIR] [--trace-events out.json]
+///             [--metrics-out metrics.json] [--profile]
 ///   simulate  <wf> --algorithm heft-budg --budget 3.0 [--reps 25] [--seed 7]
+///             [--trace-events out.json] [--metrics-out metrics.json]
+///             [--profile]
 ///             [--deadline D] [--online] [--timeout-sigmas 2]
 ///             [--fault-lambda-crash 1.0] [--fault-p-boot-fail 0.05]
 ///             [--fault-p-transfer-fail 0.01] [--fault-acquisition-delay 60]
@@ -35,6 +38,13 @@
 /// platform by default; --platform FILE.json loads a custom provider offer
 /// (see platform/io.hpp for the schema) and --contention FACTOR enables the
 /// finite-datacenter mode.
+///
+/// Observability: --trace-events PATH writes a Chrome trace-event JSON of
+/// the scheduler's decisions plus one simulated execution (open it in
+/// Perfetto or chrome://tracing); --metrics-out PATH writes the run's
+/// metrics registry (counters/gauges/histograms); --profile prints a
+/// wall-clock profile of scheduler planning, the simulator event loop and
+/// generator construction to stderr on exit.
 
 #include <filesystem>
 #include <fstream>
@@ -52,6 +62,10 @@
 #include "exp/campaign.hpp"
 #include "exp/evaluate.hpp"
 #include "exp/runner.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "pegasus/generator.hpp"
 #include "platform/io.hpp"
 #include "platform/platform.hpp"
@@ -115,6 +129,41 @@ platform::Platform make_platform(const cli::Args& args) {
   return contention > 0 ? platform::paper_platform_with_contention(contention)
                         : platform::paper_platform();
 }
+
+/// Observability wiring shared by schedule and simulate: --trace-events
+/// attaches a Chrome-trace sink to the scheduler and simulator event bus,
+/// --metrics-out collects a metrics registry.  finish() writes whatever was
+/// requested.
+struct ObsOptions {
+  explicit ObsOptions(const cli::Args& args)
+      : trace_path(args.get("trace-events", "")),
+        metrics_path(args.get("metrics-out", "")) {
+    if (!trace_path.empty()) bus.add_sink(&trace);
+  }
+
+  /// The bus to hand to SchedulerInput / Simulator; null when tracing is
+  /// off, which keeps the simulator on its zero-overhead path.
+  [[nodiscard]] obs::EventBus* bus_or_null() { return bus.enabled() ? &bus : nullptr; }
+  [[nodiscard]] bool want_metrics() const { return !metrics_path.empty(); }
+
+  void finish() {
+    if (!trace_path.empty()) {
+      trace.write(trace_path);
+      std::cout << "wrote " << trace_path << " (" << trace.record_count()
+                << " trace records)\n";
+    }
+    if (want_metrics()) {
+      metrics.save_json(metrics_path);
+      std::cout << "wrote " << metrics_path << '\n';
+    }
+  }
+
+  std::string trace_path;
+  std::string metrics_path;
+  obs::EventBus bus;
+  obs::ChromeTraceSink trace;
+  obs::MetricsRegistry metrics;
+};
 
 /// Reads the --fault-* / --recovery-* knobs shared by simulate and sweep.
 void read_fault_args(const cli::Args& args, exp::EvalConfig& config) {
@@ -190,15 +239,20 @@ int cmd_schedule(const cli::Args& args) {
   const exp::BudgetLevels levels = exp::compute_budget_levels(wf, cloud);
   const Dollars budget = args.has("budget") ? args.get_double("budget", 0) : levels.medium;
 
-  const auto out = sched::make_scheduler(algorithm)->schedule({wf, cloud, budget});
+  ObsOptions obs_options(args);
+  sched::SchedulerInput input{wf, cloud, budget};
+  input.bus = obs_options.bus_or_null();
+  const auto out = sched::make_scheduler(algorithm)->schedule(input);
   std::cout << algorithm << " under $" << budget << ":\n"
             << "  predicted makespan : " << out.predicted_makespan << " s\n"
             << "  predicted cost     : $" << out.predicted_cost
             << (out.budget_feasible ? " (within budget)" : " (OVER budget)") << "\n"
             << "  VMs                : " << out.schedule.used_vm_count() << "\n";
 
-  const sim::Simulator simulator(wf, cloud);
+  const sim::Simulator simulator(wf, cloud, obs_options.bus_or_null());
   const sim::SimResult prediction = simulator.run_conservative(out.schedule);
+  if (obs_options.want_metrics())
+    sim::record_run_metrics(obs_options.metrics, prediction, budget);
   if (args.has("gantt")) {
     std::ofstream svg(args.get("gantt", "schedule.svg"));
     require(svg.good(), "cannot open gantt output file");
@@ -214,6 +268,7 @@ int cmd_schedule(const cli::Args& args) {
     std::cout << "wrote " << (dir / "tasks.csv").string() << ", " << (dir / "vms.csv").string()
               << ", " << (dir / "summary.json").string() << '\n';
   }
+  obs_options.finish();
   return 0;
 }
 
@@ -225,7 +280,10 @@ int cmd_simulate(const cli::Args& args) {
   const exp::BudgetLevels levels = exp::compute_budget_levels(wf, cloud);
   const Dollars budget = args.has("budget") ? args.get_double("budget", 0) : levels.medium;
 
-  const auto out = sched::make_scheduler(algorithm)->schedule({wf, cloud, budget});
+  ObsOptions obs_options(args);
+  sched::SchedulerInput input{wf, cloud, budget};
+  input.bus = obs_options.bus_or_null();
+  const auto out = sched::make_scheduler(algorithm)->schedule(input);
   const sim::Simulator simulator(wf, cloud);
 
   if (args.has("online")) {
@@ -251,6 +309,7 @@ int cmd_simulate(const cli::Args& args) {
               << TablePrinter::pm(makespan.mean(), makespan.stddev(), 1) << " s, cost $"
               << TablePrinter::num(cost.mean(), 4) << ", "
               << migrations / static_cast<double>(reps) << " migrations/run\n";
+    obs_options.finish();  // scheduler decisions only; online runs untraced
     return 0;
   }
 
@@ -259,7 +318,23 @@ int cmd_simulate(const cli::Args& args) {
   config.seed = args.get_size("seed", 7);
   config.deadline = args.get_double("deadline", 0);
   read_fault_args(args, config);
+  if (obs_options.want_metrics()) config.metrics = &obs_options.metrics;
   const exp::EvalResult r = exp::evaluate_schedule(wf, cloud, out, algorithm, budget, config);
+
+  // Traced execution: repetition 0 re-run with the event bus attached, so
+  // the trace shows exactly the realization the first repetition saw (the
+  // evaluation loop itself stays on the zero-overhead path).
+  if (obs_options.bus_or_null() != nullptr) {
+    const sim::Simulator traced(wf, cloud, &obs_options.bus);
+    const Rng base(config.seed);
+    Rng stream = base.fork(0);
+    const dag::WeightRealization weights = dag::sample_weights(wf, stream);
+    if (config.faults.enabled())
+      (void)traced.run_with_faults(out.schedule, weights, config.faults.for_repetition(0),
+                                   config.recovery);
+    else
+      (void)traced.run(out.schedule, weights);
+  }
 
   TablePrinter table(algorithm + " on " + wf.name() + " — " +
                      std::to_string(config.repetitions) + " stochastic executions");
@@ -284,6 +359,7 @@ int cmd_simulate(const cli::Args& args) {
     table.row({"wasted compute (s/run)", TablePrinter::num(r.wasted_compute_mean, 1)});
   }
   table.print(std::cout);
+  obs_options.finish();
   return 0;
 }
 
@@ -397,21 +473,28 @@ int cmd_campaign(const cli::Args& args) {
 
 int main(int argc, char** argv) try {
   exp::install_interrupt_handlers();
-  const cli::Args args(argc, argv, {"online", "help", "resume"});
+  const cli::Args args(argc, argv, {"online", "help", "resume", "profile"});
   const std::string& command = args.command();
   if (command.empty() || command == "help" || args.has("help")) {
     std::cout << usage;
     return 0;
   }
-  if (command == "generate") return cmd_generate(args);
-  if (command == "info") return cmd_info(args);
-  if (command == "convert") return cmd_convert(args);
-  if (command == "schedule") return cmd_schedule(args);
-  if (command == "simulate") return cmd_simulate(args);
-  if (command == "sweep") return cmd_sweep(args);
-  if (command == "campaign") return cmd_campaign(args);
-  std::cerr << "unknown command '" << command << "'\n\n" << usage;
-  return 2;
+  if (args.has("profile")) obs::set_profiling(true);
+  const auto dispatch = [&]() -> int {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "campaign") return cmd_campaign(args);
+    std::cerr << "unknown command '" << command << "'\n\n" << usage;
+    return 2;
+  };
+  const int code = dispatch();
+  // Profile table on stderr: stdout stays byte-identical with/without it.
+  if (obs::profiling_enabled()) std::cerr << obs::profile_report();
+  return code;
 } catch (const cloudwf::Interrupted& error) {
   // 128 + SIGINT, the conventional "killed by Ctrl-C" exit code.  The
   // checkpoint journal (if any) is already flushed and fsynced.
