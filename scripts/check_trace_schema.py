@@ -16,10 +16,21 @@ caught in CI before someone discovers it as a blank Perfetto timeline:
     a thread_name metadata record;
   * args, when present, is an object.
 
+With --violations, validates a cloudwf-lint violation report instead
+(the check/violation.hpp schema, version 1):
+
+  * top level: {"checker": "cloudwf-invariants", "version": 1, "ok": bool,
+    "checks_run": int, "violations": [...]}
+  * every violation has a known code, string subject/message, numeric
+    expected/actual;
+  * "ok" agrees with the violations array being empty;
+  * checks_run >= len(violations).
+
 Pure standard library (no jsonschema); exit 0 = valid, 1 = violations
 (printed one per line), 2 = unreadable input.
 
 Usage: check_trace_schema.py trace.json
+       check_trace_schema.py --violations report.json
 """
 
 from __future__ import annotations
@@ -29,6 +40,11 @@ import sys
 
 ALLOWED_PHASES = {"M", "X", "i"}
 METADATA_NAMES = {"process_name", "thread_name", "thread_sort_index"}
+VIOLATION_CODES = {
+    "record_range", "precedence", "slot_overlap", "boot_order", "event_order",
+    "makespan_identity", "cost_conservation", "budget_cap",
+    "transfer_conservation", "schedule_structure", "artifact_format",
+}
 
 
 def validate(doc: object) -> list[str]:
@@ -104,25 +120,77 @@ def validate(doc: object) -> list[str]:
     return errors
 
 
+def validate_violations(doc: object) -> list[str]:
+    errors: list[str] = []
+
+    def err(index: int | None, message: str) -> None:
+        where = "top-level" if index is None else f"violation {index}"
+        errors.append(f"{where}: {message}")
+
+    if not isinstance(doc, dict):
+        return ["top-level: document must be a JSON object"]
+    if doc.get("checker") != "cloudwf-invariants":
+        err(None, f"'checker' must be 'cloudwf-invariants', got {doc.get('checker')!r}")
+    if doc.get("version") != 1:
+        err(None, f"'version' must be 1, got {doc.get('version')!r}")
+    if not isinstance(doc.get("ok"), bool):
+        err(None, "'ok' must be a bool")
+    checks_run = doc.get("checks_run")
+    if not isinstance(checks_run, int) or isinstance(checks_run, bool) or checks_run < 0:
+        err(None, "'checks_run' must be a non-negative integer")
+    violations = doc.get("violations")
+    if not isinstance(violations, list):
+        return errors + ["top-level: 'violations' must be an array"]
+
+    if isinstance(doc.get("ok"), bool) and doc["ok"] != (len(violations) == 0):
+        err(None, f"'ok' is {doc['ok']} but there are {len(violations)} violations")
+    if isinstance(checks_run, int) and checks_run < len(violations):
+        err(None, f"checks_run={checks_run} < {len(violations)} violations")
+
+    for i, violation in enumerate(violations):
+        if not isinstance(violation, dict):
+            err(i, "violation must be an object")
+            continue
+        code = violation.get("code")
+        if code not in VIOLATION_CODES:
+            err(i, f"unknown code {code!r}")
+        for key in ("subject", "message"):
+            if not isinstance(violation.get(key), str):
+                err(i, f"'{key}' must be a string")
+        for key in ("expected", "actual"):
+            if not isinstance(violation.get(key), (int, float)) \
+                    or isinstance(violation.get(key), bool):
+                err(i, f"'{key}' must be a number")
+    return errors
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    args = [a for a in argv[1:] if a != "--violations"]
+    violations_mode = "--violations" in argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip().splitlines()[-2], file=sys.stderr)
         print(__doc__.strip().splitlines()[-1], file=sys.stderr)
         return 2
     try:
-        with open(argv[1], encoding="utf-8") as handle:
+        with open(args[0], encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
-        print(f"check_trace_schema: cannot read {argv[1]}: {error}", file=sys.stderr)
+        print(f"check_trace_schema: cannot read {args[0]}: {error}", file=sys.stderr)
         return 2
-    errors = validate(doc)
+    errors = validate_violations(doc) if violations_mode else validate(doc)
     for message in errors:
         print(f"check_trace_schema: {message}", file=sys.stderr)
     if not errors:
-        events = doc["traceEvents"]
-        slices = sum(1 for r in events if r.get("ph") == "X")
-        instants = sum(1 for r in events if r.get("ph") == "i")
-        print(f"check_trace_schema: OK — {len(events)} records "
-              f"({slices} slices, {instants} instants)")
+        if violations_mode:
+            print(f"check_trace_schema: OK — violation report with "
+                  f"{len(doc['violations'])} violation(s), "
+                  f"{doc['checks_run']} checks")
+        else:
+            events = doc["traceEvents"]
+            slices = sum(1 for r in events if r.get("ph") == "X")
+            instants = sum(1 for r in events if r.get("ph") == "i")
+            print(f"check_trace_schema: OK — {len(events)} records "
+                  f"({slices} slices, {instants} instants)")
     return 0 if not errors else 1
 
 

@@ -1,0 +1,50 @@
+#include "check/auto_check.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "check/invariants.hpp"
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace cloudwf::check {
+
+namespace {
+
+/// The hook body: full schedule-aware check, throwing on any violation.
+/// Budget caps are enforced separately (exp/evaluate.cpp knows the budget;
+/// the engine does not), so CheckOptions stays at its budget-less default.
+void checking_hook(const dag::Workflow& wf, const platform::Platform& platform,
+                   const sim::Schedule& schedule, const sim::SimResult& result) {
+  const InvariantChecker checker(wf, platform);
+  const CheckReport report = checker.check(schedule, result);
+  if (!report.ok())
+    throw InternalError("CLOUDWF_CHECK: " + report.text() + " [workflow " + wf.name() + "]");
+}
+
+}  // namespace
+
+void install_auto_check() { sim::set_post_run_check(&checking_hook); }
+
+void uninstall_auto_check() { sim::set_post_run_check(nullptr); }
+
+bool auto_check_installed() { return sim::post_run_check() == &checking_hook; }
+
+bool auto_check_from_env() {
+#ifdef CLOUDWF_CHECK_DEFAULT_ON
+  bool enabled = true;
+#else
+  bool enabled = false;
+#endif
+  if (const char* env = std::getenv("CLOUDWF_CHECK")) {
+    const std::string_view value(env);
+    enabled = value == "1" || value == "true" || value == "on";
+  }
+  if (enabled)
+    install_auto_check();
+  else
+    uninstall_auto_check();
+  return enabled;
+}
+
+}  // namespace cloudwf::check

@@ -65,7 +65,7 @@ std::string iso_timestamp() {
 #else
   gmtime_s(&utc, &seconds);
 #endif
-  char buffer[32];
+  char buffer[80];  // worst-case snprintf bound for out-of-range tm fields
   std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
                 utc.tm_sec, static_cast<int>(millis));

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "check/auto_check.hpp"
+#include "check/violation.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dag/stochastic.hpp"
@@ -51,6 +53,25 @@ EvalResult evaluate_schedule_until(const dag::Workflow& wf,
   result.predicted_cost = output.predicted_cost;
   result.predicted_feasible = output.budget_feasible;
   result.used_vms = output.schedule.used_vm_count();
+
+  // Budget-cap contract (CLOUDWF_CHECK=1): a budget-aware scheduler that
+  // declares its plan feasible must have a conservative prediction within
+  // the cap.  Stochastic realizations may legitimately overrun (tracked by
+  // valid_fraction), so the cap applies to the prediction only.
+  if (check::auto_check_installed() && budget > 0 && output.budget_feasible &&
+      sched::is_budget_aware(algorithm)) {
+    check::CheckReport report;
+    const Dollars slack =
+        std::max(budget * 256 * std::numeric_limits<double>::epsilon(), money_epsilon);
+    ++report.checks_run;
+    if (output.predicted_cost > budget + slack)
+      report.add(check::InvariantCode::budget_cap, "predicted_cost",
+                 "budget-aware '" + result.algorithm +
+                     "' declared feasibility but predicts a spend over the cap",
+                 budget, output.predicted_cost);
+    if (!report.ok())
+      throw InternalError("CLOUDWF_CHECK: " + report.text() + " [workflow " + wf.name() + "]");
+  }
 
   const sim::Simulator simulator(wf, platform);
   const bool inject = config.faults.enabled();

@@ -80,9 +80,12 @@ struct Event {
   Seconds duration = 0;       ///< slice length for *_done/finish events
 };
 
-/// Consumer interface.  Sinks must tolerate events in emission order only
-/// (globally non-decreasing simulation time; sched_decision uses its own
-/// index timeline).
+/// Consumer interface.  Sinks must tolerate events in emission order only:
+/// the run loop emits in globally non-decreasing simulation time and
+/// sched_decision uses its own index timeline.  After the run loop the
+/// engine emits one time-sorted epilogue of billing_tick / vm_shutdown
+/// events (a VM's billing end is only known retroactively), so sinks see at
+/// most one rewind, into that epilogue.
 class EventSink {
  public:
   virtual ~EventSink() = default;

@@ -68,7 +68,10 @@ dag::Workflow generate_ligo(const GeneratorConfig& config) {
       CLOUDWF_ASSERT(gs >= 1);
     }
 
-    const std::string suffix = "_" + std::to_string(g);
+    // Build via append (not `"_" + std::to_string(g)`) to dodge GCC 12's
+    // spurious -Wrestrict on operator+(const char*, std::string&&).
+    std::string suffix = "_";
+    suffix += std::to_string(g);
 
     const dag::TaskId thinca =
         detail::add_jittered_task(wf, rng, config, "Thinca" + suffix, "Thinca", w_thinca);

@@ -42,6 +42,10 @@ struct VmRecord {
   std::size_t boot_attempts = 0;  ///< provisioning tries (0 = never booked)
   bool crashed = false;           ///< injected crash killed this VM
   bool recovery = false;          ///< provisioned by fault recovery
+  /// This VM came up and was charged per Eq. (1) for [boot_done, end] —
+  /// including instances abandoned by a migration or killed by a crash.
+  /// A provisioning that never completed is uncharged (billed = false).
+  bool billed = false;
 };
 
 /// Busy fraction of a VM's billed interval, hardened against degenerate
@@ -68,7 +72,7 @@ struct SimResult {
   Seconds end_last = 0;     ///< last upload/computation end (H_end,last)
   Seconds makespan = 0;     ///< end_last - start_first (Eq. 3)
   platform::CostBreakdown cost;  ///< C_wf itemization (Eq. 1 + 2)
-  std::size_t used_vms = 0;      ///< VMs that executed at least one task
+  std::size_t used_vms = 0;      ///< VMs that billed (VmRecord::billed)
   std::vector<TaskRecord> tasks;
   std::vector<VmRecord> vms;  ///< indexed by VmId; unused VMs have task_count 0
   TransferStats transfers;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -1050,6 +1051,7 @@ SimResult Execution::finalize() const {
 
   Seconds start_first = infinity;
   Seconds end_last = 0;
+  std::vector<obs::Event> tail_events;  // synthesized shutdown/billing events
   Bytes dc_footprint = wf_.external_input_bytes() + wf_.external_output_bytes();
   for (dag::EdgeId e = 0; e < wf_.edge_count(); ++e)
     if (edge_needs_transfer_[e]) dc_footprint += wf_.edge(e).bytes;
@@ -1068,6 +1070,7 @@ SimResult Execution::finalize() const {
     // Every VM that came *up* bills, including one abandoned by a migration
     // or killed by a crash; a provisioning that never succeeded is uncharged.
     if (state.boot != BootState::up) continue;
+    record.billed = true;
     record.end = std::max(state.end, state.boot_done);
     record.busy = state.busy;
     ++result.used_vms;
@@ -1088,18 +1091,25 @@ SimResult Execution::finalize() const {
         const double crossed = std::floor((record.end - state.boot_done) / quantum);
         const double ticks = std::min(crossed, 1000.0);
         for (double k = 1; k <= ticks; ++k)
-          emit({.kind = obs::EventKind::billing_tick,
-                .time = state.boot_done + k * quantum,
-                .vm = obs_vm(v),
-                .value = k});
+          tail_events.push_back({.kind = obs::EventKind::billing_tick,
+                                 .time = state.boot_done + k * quantum,
+                                 .vm = obs_vm(v),
+                                 .value = k});
       }
-      emit({.kind = obs::EventKind::vm_shutdown,
-            .time = record.end,
-            .vm = obs_vm(v),
-            .detail = category.name,
-            .value = record.end - state.boot_done});
+      tail_events.push_back({.kind = obs::EventKind::vm_shutdown,
+                             .time = record.end,
+                             .vm = obs_vm(v),
+                             .detail = category.name,
+                             .value = record.end - state.boot_done});
     }
   }
+  // The synthesized shutdown/billing tail is gathered per VM (id order), so
+  // it must be re-sorted before emission to honor the EventSink contract of
+  // globally non-decreasing timestamps.  stable_sort keeps the per-VM
+  // tick -> shutdown sequence for events sharing a timestamp.
+  std::stable_sort(tail_events.begin(), tail_events.end(),
+                   [](const obs::Event& a, const obs::Event& b) { return a.time < b.time; });
+  for (const obs::Event& event : tail_events) emit(event);
   CLOUDWF_ASSERT(result.used_vms > 0 || stats_.failed_tasks > 0);
   if (start_first == infinity) start_first = 0;  // nothing ever came up
 
@@ -1129,7 +1139,22 @@ SimResult Execution::run() {
   return result;
 }
 
+/// Process-wide post-run hook (see simulator.hpp).  Relaxed ordering is
+/// enough: installation happens once at startup, before any simulation.
+std::atomic<PostRunCheck>& post_run_check_storage() {
+  static std::atomic<PostRunCheck> hook{nullptr};
+  return hook;
+}
+
 }  // namespace
+
+void set_post_run_check(PostRunCheck hook) noexcept {
+  post_run_check_storage().store(hook, std::memory_order_relaxed);
+}
+
+PostRunCheck post_run_check() noexcept {
+  return post_run_check_storage().load(std::memory_order_relaxed);
+}
 
 Simulator::Simulator(const dag::Workflow& wf, const platform::Platform& platform,
                      obs::EventBus* bus)
@@ -1139,7 +1164,9 @@ Simulator::Simulator(const dag::Workflow& wf, const platform::Platform& platform
 
 SimResult Simulator::run(const Schedule& schedule, const dag::WeightRealization& weights) const {
   Execution execution(wf_, platform_, schedule, weights, nullptr, nullptr, nullptr, bus_);
-  return execution.run();
+  const SimResult result = execution.run();
+  if (const PostRunCheck hook = post_run_check()) hook(wf_, platform_, schedule, result);
+  return result;
 }
 
 SimResult Simulator::run_online(const Schedule& schedule, const dag::WeightRealization& weights,
@@ -1147,7 +1174,9 @@ SimResult Simulator::run_online(const Schedule& schedule, const dag::WeightReali
   require(policy.timeout_sigmas >= 0, "run_online: negative timeout_sigmas");
   require(policy.min_speedup >= 1.0, "run_online: min_speedup must be >= 1");
   Execution execution(wf_, platform_, schedule, weights, &policy, nullptr, nullptr, bus_);
-  return execution.run();
+  const SimResult result = execution.run();
+  if (const PostRunCheck hook = post_run_check()) hook(wf_, platform_, schedule, result);
+  return result;
 }
 
 SimResult Simulator::run_with_faults(const Schedule& schedule,
@@ -1157,7 +1186,9 @@ SimResult Simulator::run_with_faults(const Schedule& schedule,
   faults.validate();
   recovery.validate();
   Execution execution(wf_, platform_, schedule, weights, nullptr, &faults, &recovery, bus_);
-  return execution.run();
+  const SimResult result = execution.run();
+  if (const PostRunCheck hook = post_run_check()) hook(wf_, platform_, schedule, result);
+  return result;
 }
 
 SimResult Simulator::run_conservative(const Schedule& schedule) const {

@@ -111,4 +111,18 @@ class Simulator {
 /// bound_by links ending at the task that finished last (earliest first).
 [[nodiscard]] std::vector<dag::TaskId> schedule_critical_path(const SimResult& result);
 
+/// \name Post-run invariant hook
+/// A process-wide hook invoked after every Simulator::run* with the executed
+/// schedule and its result.  check::install_auto_check() points it at the
+/// invariant checker (the CLOUDWF_CHECK=1 path); sim itself never depends on
+/// the checker.  The hook may throw (e.g. InternalError on a violation) —
+/// the exception propagates out of the run call.  Null by default: a
+/// disabled hook costs one relaxed atomic load per run.
+///@{
+using PostRunCheck = void (*)(const dag::Workflow&, const platform::Platform&,
+                              const Schedule&, const SimResult&);
+void set_post_run_check(PostRunCheck hook) noexcept;
+[[nodiscard]] PostRunCheck post_run_check() noexcept;
+///@}
+
 }  // namespace cloudwf::sim

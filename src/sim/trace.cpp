@@ -34,12 +34,13 @@ void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std:
 void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
   CsvWriter csv(out);
   csv.header({"vm", "category", "boot_request", "boot_done", "end", "busy", "tasks",
-              "utilization", "boot_attempts", "crashed", "recovery"});
+              "utilization", "boot_attempts", "crashed", "recovery", "billed"});
   for (VmId v = 0; v < result.vms.size(); ++v) {
     const VmRecord& record = result.vms[v];
-    // Fault-free: exactly the VMs that ran something.  With faults, crashed,
-    // re-provisioned and recovery VMs are part of the story even when empty.
-    if (record.task_count == 0 && !record.crashed && !record.recovery &&
+    // Fault-free: exactly the VMs that ran something.  Billed-but-empty VMs
+    // (e.g. abandoned by a migration), crashed, re-provisioned and recovery
+    // VMs are part of the story — and of the cost — even when empty.
+    if (record.task_count == 0 && !record.billed && !record.crashed && !record.recovery &&
         record.boot_attempts <= 1)
       continue;
     csv.field(static_cast<std::size_t>(v))
@@ -52,7 +53,8 @@ void write_vm_trace_csv(const SimResult& result, std::ostream& out) {
         .field(vm_utilization(record))
         .field(record.boot_attempts)
         .field(record.crashed ? 1 : 0)
-        .field(record.recovery ? 1 : 0);
+        .field(record.recovery ? 1 : 0)
+        .field(record.billed ? 1 : 0);
     csv.end_row();
   }
 }

@@ -19,7 +19,8 @@ namespace cloudwf::sim {
 void write_task_trace_csv(const dag::Workflow& wf, const SimResult& result, std::ostream& out);
 
 /// Writes one CSV row per used VM: id, category, boot_request, boot_done,
-/// end, busy, task_count, utilization.
+/// end, busy, task_count, utilization, boot_attempts, crashed, recovery,
+/// billed.
 void write_vm_trace_csv(const SimResult& result, std::ostream& out);
 
 /// \name Crash-safe file variants

@@ -34,7 +34,11 @@ std::size_t leftover_temps(const fs::path& dir) {
 class AtomicFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "cloudwf_atomic_file";
+    // Unique per test: parallel ctest processes must not remove_all a
+    // directory a sibling test is still using.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("cloudwf_atomic_file_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -95,7 +95,12 @@ CampaignConfig small_campaign() {
 class CheckpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "cloudwf_checkpoint";
+    // Unique per test: ctest runs each TEST as its own process, possibly in
+    // parallel, so a shared fixture directory would let one test's
+    // SetUp/TearDown remove_all the journal another test is replaying.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("cloudwf_checkpoint_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

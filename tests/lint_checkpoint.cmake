@@ -1,0 +1,14 @@
+# Runs `cloudwf-lint checkpoint` on every journal in DIR.  A separate script
+# because the journal filename embeds a campaign config hash, so the test
+# can't name it statically.
+file(GLOB journals "${DIR}/*.jsonl")
+if(NOT journals)
+  message(FATAL_ERROR "no checkpoint journals under ${DIR}")
+endif()
+foreach(journal IN LISTS journals)
+  execute_process(COMMAND "${LINT}" checkpoint "${journal}" --strict
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cloudwf-lint checkpoint failed on ${journal}")
+  endif()
+endforeach()

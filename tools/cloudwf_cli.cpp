@@ -8,6 +8,7 @@
 ///   convert   <in.{json,dax}> <out.{json,dax,dot}>
 ///   schedule  <wf> --algorithm heft-budg --budget 3.0 [--gantt out.svg]
 ///             [--trace-dir DIR] [--trace-events out.json]
+///             [--schedule-out sched.json]
 ///             [--metrics-out metrics.json] [--profile]
 ///   simulate  <wf> --algorithm heft-budg --budget 3.0 [--reps 25] [--seed 7]
 ///             [--trace-events out.json] [--metrics-out metrics.json]
@@ -50,6 +51,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "check/auto_check.hpp"
 #include "cli_args.hpp"
 #include "common/atomic_file.hpp"
 #include "common/rng.hpp"
@@ -71,6 +73,7 @@
 #include "platform/platform.hpp"
 #include "sched/registry.hpp"
 #include "sim/gantt.hpp"
+#include "sim/schedule_io.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -267,6 +270,11 @@ int cmd_schedule(const cli::Args& args) {
     sim::save_result_summary_json(prediction, (dir / "summary.json").string());
     std::cout << "wrote " << (dir / "tasks.csv").string() << ", " << (dir / "vms.csv").string()
               << ", " << (dir / "summary.json").string() << '\n';
+  }
+  if (args.has("schedule-out")) {
+    const std::string path = args.get("schedule-out", "schedule.json");
+    sim::save_schedule_json(out.schedule, wf, path);
+    std::cout << "wrote " << path << '\n';
   }
   obs_options.finish();
   return 0;
@@ -473,6 +481,9 @@ int cmd_campaign(const cli::Args& args) {
 
 int main(int argc, char** argv) try {
   exp::install_interrupt_handlers();
+  // CLOUDWF_CHECK=1 (or -DCLOUDWF_CHECK=ON builds): validate every
+  // simulated run against the paper's invariants, failing loudly on bugs.
+  check::auto_check_from_env();
   const cli::Args args(argc, argv, {"online", "help", "resume", "profile"});
   const std::string& command = args.command();
   if (command.empty() || command == "help" || args.has("help")) {
