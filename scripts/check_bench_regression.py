@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a fresh bench_sched run against the committed baseline.
+
+Both inputs are cloudwf-bench-sched-v1 files (see bench/bench_sched.cpp):
+a `calibration_ms` from a fixed CPU-bound FNV-1a loop, plus one entry per
+(algorithm, family, tasks) cell with the min-of-samples planning time in
+`plan_ms` and the deterministic placement-probe count in `probes`.
+
+Absolute milliseconds are machine-dependent, so the baseline is first
+scaled by `current.calibration_ms / baseline.calibration_ms` — the ratio of
+the two machines on the reference workload.  Timing on shared CI machines
+still drifts double-digit percent per cell even after normalization, so the
+gate is layered to stay sensitive without flapping:
+
+  * geomean: the geometric mean of per-cell ratios must stay <= threshold
+    (default 1.25, the ">25% regression" contract).  Noise averages out
+    across the ~60 cells, so this catches a broad kernel slowdown reliably.
+  * per-cell: any single cell worse than threshold * 1.2 (so 1.5x by
+    default) fails outright — a localized regression big enough to clear
+    the worst observed same-machine noise (~1.25x).
+  * probes: placement-probe counts are deterministic and machine-independent;
+    a cell whose count grows > 5% means the kernel started re-probing —
+    an algorithmic regression timing noise can never excuse.
+
+Cells are floored at 1 ms before forming ratios: timer noise dominates
+below that and a 0.4 ms -> 0.6 ms flap is not a regression.  Only cells
+present in BOTH files enter the geomean; cells that exist only in the
+baseline are reported as missing (failure: a silently dropped cell would
+otherwise disable its gate).  Legitimate perf-profile changes regenerate
+the committed baseline with `bench_sched` instead of widening thresholds.
+
+Pure standard library; exit 0 = within threshold, 1 = regression or
+missing cells (printed one per line), 2 = unreadable input.
+
+Usage: check_bench_regression.py baseline.json current.json [--threshold 1.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+# Below this many milliseconds the timer noise on shared CI machines is
+# comparable to the measurement itself; ratios floor both sides here.
+MIN_CELL_MS = 1.0
+
+# Per-cell failures need headroom above per-cell noise (worst observed
+# same-machine drift after min-of-samples: ~1.25x); the geomean carries
+# the tight threshold.
+CELL_NOISE_MARGIN = 1.2
+
+# Probe counts are deterministic; the tolerance only absorbs benign count
+# shifts (e.g. an extra warm-up probe), not re-probing regressions.
+PROBE_TOLERANCE = 1.05
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"error: cannot read {path}: {error}")
+    if doc.get("schema") != "cloudwf-bench-sched-v1":
+        sys.exit(f"error: {path}: not a cloudwf-bench-sched-v1 file")
+    return doc
+
+
+def entries_by_key(doc: dict) -> dict[tuple, dict]:
+    return {
+        (entry["algorithm"], entry["family"], entry["tasks"]): entry
+        for entry in doc["entries"]
+    }
+
+
+def cell_name(key: tuple) -> str:
+    algorithm, family, tasks = key
+    return f"{algorithm}/{family}/{tasks}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_sched.json")
+    parser.add_argument("current", help="freshly generated bench_sched output")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="allowed geomean slowdown after machine normalization (default 1.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline["calibration_ms"] <= 0:
+        sys.exit(f"error: {args.baseline}: non-positive calibration_ms")
+    machine_factor = current["calibration_ms"] / baseline["calibration_ms"]
+
+    base_entries = entries_by_key(baseline)
+    cur_entries = entries_by_key(current)
+    shared = sorted(set(base_entries) & set(cur_entries))
+    if not shared:
+        sys.exit("error: no common (algorithm, family, tasks) cells to compare")
+
+    cell_limit = args.threshold * CELL_NOISE_MARGIN
+    print(
+        f"machine factor {machine_factor:.3f} "
+        f"(calibration {baseline['calibration_ms']:.1f} ms -> "
+        f"{current['calibration_ms']:.1f} ms), geomean threshold "
+        f"{args.threshold:g}, per-cell limit {cell_limit:g}, {len(shared)} cells"
+    )
+
+    failures = []
+    log_ratio_sum = 0.0
+    for key in shared:
+        base_ms = max(base_entries[key]["plan_ms"], MIN_CELL_MS) * machine_factor
+        cur_ms = max(cur_entries[key]["plan_ms"], MIN_CELL_MS)
+        ratio = cur_ms / base_ms
+        log_ratio_sum += math.log(ratio)
+        if ratio > cell_limit:
+            failures.append(
+                f"REGRESSION {cell_name(key)}: {ratio:.2f}x > per-cell limit "
+                f"{cell_limit:g}x ({cur_entries[key]['plan_ms']:.2f} ms vs baseline "
+                f"{base_entries[key]['plan_ms']:.2f} ms)"
+            )
+        base_probes = base_entries[key]["probes"]
+        cur_probes = cur_entries[key]["probes"]
+        if base_probes > 0 and cur_probes > base_probes * PROBE_TOLERANCE:
+            failures.append(
+                f"REGRESSION {cell_name(key)}: probe count {cur_probes} > "
+                f"baseline {base_probes} (+{100.0 * (cur_probes / base_probes - 1):.1f}%)"
+            )
+
+    geomean = math.exp(log_ratio_sum / len(shared))
+    print(f"geomean plan-time ratio: {geomean:.3f}")
+    if geomean > args.threshold:
+        failures.append(
+            f"REGRESSION geomean: {geomean:.3f} > threshold {args.threshold:g}"
+        )
+
+    # Cells the current run silently dropped would otherwise lose their gate.
+    for key in sorted(set(base_entries) - set(cur_entries)):
+        failures.append(f"MISSING {cell_name(key)}: cell not in current run")
+
+    for line in failures:
+        print(line)
+    if failures:
+        print(f"{len(failures)} failure(s)")
+        return 1
+    print("all cells within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,10 @@ void CampaignConfig::apply_quick_mode() {
 
 CampaignResult run_campaign(const platform::Platform& platform, const CampaignConfig& config) {
   require(!config.algorithms.empty(), "run_campaign: no algorithms listed");
+  // Unknown algorithm names are deliberately NOT rejected here: the runner's
+  // crash containment turns them into degraded (errored) cells so one typo
+  // cannot void a long campaign.  Interactive entry points (the CLI) validate
+  // against the registry up front instead.
   require(config.instances >= 1, "run_campaign: need at least one instance");
   require(config.budget_points >= 2, "run_campaign: need at least two budget points");
   require(config.low_budget_factor > 0, "run_campaign: low_budget_factor must be positive");

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "dag/stochastic.hpp"
 #include "obs/metrics.hpp"
+#include "sched/plan.hpp"
 #include "sched/registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -59,7 +60,7 @@ EvalResult evaluate_schedule_until(const dag::Workflow& wf,
   // the cap.  Stochastic realizations may legitimately overrun (tracked by
   // valid_fraction), so the cap applies to the prediction only.
   if (check::auto_check_installed() && budget > 0 && output.budget_feasible &&
-      sched::is_budget_aware(algorithm)) {
+      sched::scheduler_info(algorithm).needs_budget) {
     check::CheckReport report;
     const Dollars slack =
         std::max(budget * 256 * std::numeric_limits<double>::epsilon(), money_epsilon);
@@ -165,7 +166,10 @@ EvalResult evaluate_schedule_until(const dag::Workflow& wf,
 EvalResult evaluate(const dag::Workflow& wf, const platform::Platform& platform,
                     std::string_view algorithm, Dollars budget, const EvalConfig& config) {
   const auto scheduler = sched::make_scheduler(algorithm);
-  const sched::SchedulerInput input{wf, platform, budget};
+  const sched::WorkflowPlan* plan =
+      config.plan_cache != nullptr ? &config.plan_cache->get(wf, platform) : nullptr;
+  const sched::SchedulerInput input =
+      sched::make_input(wf, platform, budget, /*bus=*/nullptr, plan);
 
   const auto t0 = Clock::now();
   const Deadline deadline = make_deadline(config, t0);

@@ -24,6 +24,10 @@ namespace cloudwf::obs {
 class MetricsRegistry;
 }  // namespace cloudwf::obs
 
+namespace cloudwf::sched {
+class PlanCache;
+}  // namespace cloudwf::sched
+
 namespace cloudwf::exp {
 
 /// Repetition / seeding parameters.
@@ -50,6 +54,13 @@ struct EvalConfig {
   /// the checkpoint fingerprint — attaching a registry never invalidates
   /// cached cells.  Not owned.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional shared store of budget-independent workflow analyses
+  /// (sched/plan.hpp).  When non-null, the scheduling call reuses the cached
+  /// ranks / levels / budget model for this (workflow, platform) pair —
+  /// results are bit-identical with or without it, so, like `metrics`, it is
+  /// not part of the checkpoint fingerprint.  The runner attaches one per
+  /// matrix automatically.  Not owned; must outlive the evaluation.
+  sched::PlanCache* plan_cache = nullptr;
 };
 
 /// Outcome class of one experimental cell.  Degraded cells (anything but

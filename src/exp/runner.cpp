@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "exp/checkpoint.hpp"
+#include "sched/plan.hpp"
 
 namespace cloudwf::exp {
 
@@ -45,8 +46,10 @@ EvalResult degraded_result(const RunRequest& request, RunStatus status,
 
 /// Evaluates one request under \p policy: journal replay, watchdog,
 /// exception capture, journal record.  Interrupted always propagates.
+/// \p plans shares budget-independent workflow analyses across the matrix
+/// (bit-identical results; see sched/plan.hpp).
 EvalResult evaluate_request(const platform::Platform& platform, const RunRequest& request,
-                            const RunPolicy& policy) {
+                            const RunPolicy& policy, sched::PlanCache& plans) {
   throw_if_interrupted();
   std::string fingerprint;
   if (policy.journal != nullptr) {
@@ -55,6 +58,7 @@ EvalResult evaluate_request(const platform::Platform& platform, const RunRequest
   }
   EvalConfig config = request.config;
   if (policy.run_timeout > 0) config.run_timeout = policy.run_timeout;
+  if (config.plan_cache == nullptr) config.plan_cache = &plans;
   EvalResult result;
   try {
     result = evaluate(*request.wf, platform, request.algorithm, request.budget, config);
@@ -134,8 +138,9 @@ std::vector<EvalResult> run_parallel(const platform::Platform& platform,
   check_requests(requests);
   std::vector<EvalResult> results(requests.size());
   Heartbeat heartbeat(requests.size());
+  sched::PlanCache plans;  // shared across cells; PlanCache::get is thread-safe
   pool.parallel_for(requests.size(), [&](std::size_t i) {
-    results[i] = evaluate_request(platform, requests[i], policy);
+    results[i] = evaluate_request(platform, requests[i], policy, plans);
     heartbeat.cell_done(requests[i], results[i]);
   });
   return results;
@@ -148,8 +153,9 @@ std::vector<EvalResult> run_serial(const platform::Platform& platform,
   std::vector<EvalResult> results;
   results.reserve(requests.size());
   Heartbeat heartbeat(requests.size());
+  sched::PlanCache plans;
   for (const RunRequest& request : requests) {
-    results.push_back(evaluate_request(platform, request, policy));
+    results.push_back(evaluate_request(platform, request, policy, plans));
     heartbeat.cell_done(request, results.back());
   }
   return results;

@@ -14,6 +14,12 @@
 /// the whole sweep, completed cells can be journaled for resume, and a
 /// SIGINT/SIGTERM (via request_interrupt()) stops the matrix at the next
 /// cell boundary with everything already journaled.
+///
+/// Both entry points own a sched::PlanCache for the duration of the matrix:
+/// cells evaluating the same (workflow, platform) pair share one set of
+/// budget-independent analyses (ranks, levels, Algorithm 1's time model)
+/// instead of recomputing them per cell.  Results are bit-identical either
+/// way; a request whose EvalConfig already carries a plan_cache keeps it.
 
 #include <ostream>
 #include <span>

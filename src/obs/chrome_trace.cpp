@@ -25,7 +25,7 @@ constexpr std::int64_t tracks_per_vm = 3;  ///< compute, uplink, downlink
   args["kind"] = std::string(to_string(event.kind));
   if (event.vm != no_id) args["vm"] = static_cast<double>(event.vm);
   if (event.task != no_id) args["task"] = static_cast<double>(event.task);
-  if (!event.detail.empty()) args["detail"] = event.detail;
+  if (!event.detail.empty()) args["detail"] = std::string(event.detail);
   if (event.value != 0) args["value"] = event.value;
   return Json(std::move(args));
 }
@@ -72,7 +72,8 @@ void ChromeTraceSink::ensure_track(std::int64_t tid, const std::string& name) {
 void ChromeTraceSink::push_slice(const Event& event, std::int64_t tid,
                                  const char* category) {
   Json::Object record;
-  record["name"] = event.name.empty() ? std::string(to_string(event.kind)) : event.name;
+  record["name"] =
+      std::string(event.name.empty() ? to_string(event.kind) : event.name);
   record["cat"] = category;
   record["ph"] = "X";
   record["ts"] = to_us(event.time - event.duration);
@@ -86,7 +87,8 @@ void ChromeTraceSink::push_slice(const Event& event, std::int64_t tid,
 void ChromeTraceSink::push_instant(const Event& event, std::int64_t tid,
                                    const char* category) {
   Json::Object record;
-  record["name"] = event.name.empty() ? std::string(to_string(event.kind)) : event.name;
+  record["name"] =
+      std::string(event.name.empty() ? to_string(event.kind) : event.name);
   record["cat"] = category;
   record["ph"] = "i";
   record["ts"] = to_us(event.time);

@@ -11,6 +11,8 @@
 /// contract against BENCH_scheduler.json.
 
 #include <cstddef>
+#include <deque>
+#include <string>
 #include <vector>
 
 #include "obs/events.hpp"
@@ -45,15 +47,27 @@ class EventBus {
   std::size_t emitted_ = 0;
 };
 
-/// Test/bench helper: retains every event verbatim.
+/// Test/bench helper: retains every event verbatim.  Event name/detail are
+/// borrowed views only valid during on_event (see events.hpp), so the sink
+/// copies them into a deque of owned strings (stable addresses) and points
+/// the retained events there.
 class RecordingSink final : public EventSink {
  public:
-  void on_event(const Event& event) override { events_.push_back(event); }
+  void on_event(const Event& event) override {
+    Event copy = event;
+    if (!event.name.empty()) copy.name = strings_.emplace_back(event.name);
+    if (!event.detail.empty()) copy.detail = strings_.emplace_back(event.detail);
+    events_.push_back(copy);
+  }
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    strings_.clear();
+  }
 
  private:
   std::vector<Event> events_;
+  std::deque<std::string> strings_;  // backing storage for the views
 };
 
 /// Bench helper: counts events without retaining them (isolates the

@@ -16,7 +16,6 @@
 /// statement and sinks a single switch.
 
 #include <cstdint>
-#include <string>
 #include <string_view>
 
 #include "common/units.hpp"
@@ -69,13 +68,20 @@ inline constexpr std::int64_t no_id = -1;
 /// One observability event.  `time` is simulation time in seconds for
 /// engine events and a monotonic decision index for sched_decision (the
 /// scheduler plans before simulated time exists).
+///
+/// `name` and `detail` are borrowed views, NOT owned strings: producers on
+/// the hot path point them at stable storage (task/category names) or at a
+/// stack buffer (sched_decision details), so emitting an event never
+/// allocates.  The views are guaranteed valid only for the duration of
+/// on_event(); a sink that retains events must copy the bytes into storage
+/// it owns (RecordingSink does).
 struct Event {
   EventKind kind{};
   Seconds time = 0;
   std::int64_t vm = no_id;    ///< VM track; no_id for global events
   std::int64_t task = no_id;  ///< task id; no_id when not task-scoped
-  std::string name;           ///< human label (task name, transfer label)
-  std::string detail;         ///< kind-specific rationale ("up", "vm_crash", ...)
+  std::string_view name;      ///< human label (task name, transfer label)
+  std::string_view detail;    ///< kind-specific rationale ("up", "vm_crash", ...)
   double value = 0;           ///< bytes / dollars / index (kind-specific)
   Seconds duration = 0;       ///< slice length for *_done/finish events
 };

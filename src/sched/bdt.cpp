@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "dag/analysis.hpp"
+#include "obs/profile.hpp"
 #include "sched/budget.hpp"
 #include "sched/eft.hpp"
+#include "sched/plan.hpp"
 
 namespace cloudwf::sched {
 
@@ -19,18 +22,20 @@ struct TctfChoice {
   bool eligible = false;  // fit within subBudg
 };
 
-TctfChoice pick_tctf_host(const EftState& state, const sim::Schedule& schedule, dag::TaskId task,
-                          Dollars sub_budget) {
-  const auto hosts = state.candidates(schedule);
+TctfChoice pick_tctf_host(const EftState& state, dag::TaskId task, Dollars sub_budget,
+                          std::vector<PlacementEstimate>& estimates) {
+  const auto hosts = state.candidates();
 
-  // First sweep: per-host estimates and the ECT / cost extremes.
-  std::vector<PlacementEstimate> estimates;
+  // First sweep: per-host estimates and the ECT / cost extremes.  The
+  // estimate scratch is caller-owned so the per-task loop stays
+  // allocation-free.
+  estimates.clear();
   estimates.reserve(hosts.size());
   Seconds ect_min = std::numeric_limits<Seconds>::infinity();
   Seconds ect_max = 0;
   Dollars ct_min = std::numeric_limits<Dollars>::infinity();
   for (const HostCandidate& host : hosts) {
-    const PlacementEstimate est = state.estimate(task, host, schedule);
+    const PlacementEstimate est = state.estimate(task, host);
     ect_min = std::min(ect_min, est.eft);
     ect_max = std::max(ect_max, est.eft);
     ct_min = std::min(ct_min, est.cost);
@@ -75,18 +80,30 @@ TctfChoice pick_tctf_host(const EftState& state, const sim::Schedule& schedule, 
 SchedulerOutput BdtScheduler::schedule(const SchedulerInput& input) const {
   const dag::Workflow& wf = input.wf;
   require(wf.frozen(), "BdtScheduler: workflow must be frozen");
+  const obs::ProfileScope profile("sched.plan");
 
-  // Same reservations as the paper's algorithms (fair comparison).
-  const BudgetShares shares = divide_budget(wf, input.platform, input.budget);
-  const auto levels = dag::tasks_by_level(wf);
+  // Same reservations as the paper's algorithms (fair comparison).  The plan
+  // (when supplied) carries the same time model and precedence levels the ad
+  // hoc path computes.
+  BudgetModel model_local;
+  if (input.plan == nullptr) model_local = BudgetModel::build(wf, input.platform);
+  const BudgetModel& model = input.plan != nullptr ? input.plan->budget_model : model_local;
+  const BudgetShares shares = divide_budget(model, input.budget);
+
+  std::vector<std::vector<dag::TaskId>> levels_local;
+  if (input.plan == nullptr) levels_local = dag::tasks_by_level(wf);
+  const std::vector<std::vector<dag::TaskId>>& levels =
+      input.plan != nullptr ? input.plan->levels : levels_local;
 
   // Level budgets: proportional split of B_calc by estimated level time.
+  // model.t_task holds task_time_estimate() verbatim, so both paths sum the
+  // same doubles.
   std::vector<Dollars> level_budget(levels.size(), 0);
   {
     Seconds total_time = 0;
     std::vector<Seconds> level_time(levels.size(), 0);
     for (std::size_t l = 0; l < levels.size(); ++l) {
-      for (dag::TaskId t : levels[l]) level_time[l] += task_time_estimate(wf, input.platform, t);
+      for (dag::TaskId t : levels[l]) level_time[l] += model.t_task[t];
       total_time += level_time[l];
     }
     CLOUDWF_ASSERT(total_time > 0);
@@ -96,13 +113,14 @@ SchedulerOutput BdtScheduler::schedule(const SchedulerInput& input) const {
 
   sim::Schedule schedule(wf.task_count());
   EftState state(wf, input.platform);
+  std::vector<PlacementEstimate> estimate_scratch;
+  std::vector<Seconds> est(wf.task_count(), 0);
 
   Dollars trickle = 0;  // leftover budget flowing between levels
   for (std::size_t l = 0; l < levels.size(); ++l) {
     // Tasks inside a level by increasing EST (data-at-DC readiness);
     // ties by task id for determinism.
     std::vector<dag::TaskId> order = levels[l];
-    std::vector<Seconds> est(wf.task_count(), 0);
     for (dag::TaskId t : order) est[t] = state.ready_at_dc(t);
     std::stable_sort(order.begin(), order.end(), [&](dag::TaskId a, dag::TaskId b) {
       if (est[a] != est[b]) return est[a] < est[b];
@@ -112,7 +130,7 @@ SchedulerOutput BdtScheduler::schedule(const SchedulerInput& input) const {
     // "All in": the head task may spend the whole remaining level budget.
     Dollars remaining = level_budget[l] + trickle;
     for (dag::TaskId task : order) {
-      const TctfChoice choice = pick_tctf_host(state, schedule, task, remaining);
+      const TctfChoice choice = pick_tctf_host(state, task, remaining, estimate_scratch);
       state.commit(task, choice.host, choice.estimate, schedule);
       remaining -= choice.estimate.cost;  // may go negative: eager overrun
     }

@@ -1,66 +1,65 @@
 #include "sched/best_host.hpp"
 
-#include <sstream>
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "obs/event_bus.hpp"
 
 namespace cloudwf::sched {
 
-BestHost get_best_host(const EftState& state, const sim::Schedule& schedule, dag::TaskId task,
+BestHost get_best_host(const EftState& state, dag::TaskId task,
                        std::optional<Dollars> budget_cap) {
-  const auto hosts = state.candidates(schedule);
+  const std::span<const HostCandidate> hosts = state.candidates();
   CLOUDWF_ASSERT(!hosts.empty());
-
-  bool have_affordable = false;
-  HostCandidate best_host{};
-  PlacementEstimate best_estimate{};
-  HostCandidate cheapest_host{};
-  PlacementEstimate cheapest_estimate{};
-  bool have_cheapest = false;
-
-  for (const HostCandidate& host : hosts) {
-    const PlacementEstimate estimate = state.estimate(task, host, schedule);
-
-    // Track the overall cheapest placement as the fallback.
-    if (!have_cheapest || estimate.cost < cheapest_estimate.cost ||
-        (estimate.cost == cheapest_estimate.cost &&
-         better_placement(estimate, host, cheapest_estimate, cheapest_host))) {
-      have_cheapest = true;
-      cheapest_host = host;
-      cheapest_estimate = estimate;
-    }
-
-    if (budget_cap && estimate.cost > *budget_cap + money_epsilon) continue;
-    if (!have_affordable || better_placement(estimate, host, best_estimate, best_host)) {
-      have_affordable = true;
-      best_host = host;
-      best_estimate = estimate;
-    }
-  }
-
-  if (have_affordable) return BestHost{best_host, best_estimate, true};
-  return BestHost{cheapest_host, cheapest_estimate, false};
+  BestHostScan scan(budget_cap);
+  for (const HostCandidate& host : hosts) scan.consider(host, state.estimate(task, host));
+  return scan.result();
 }
+
+namespace {
+
+/// Bounded formatter for the sched_decision detail string.  Appends into a
+/// fixed stack buffer, truncating on overflow — a truncated trace detail
+/// beats an ostringstream allocation per placement (bench_obs measured that
+/// at 27% of the enabled-path cost).  `%g` matches the default iostream
+/// double formatting the previous implementation produced.
+class DetailBuffer {
+ public:
+  template <typename... Args>
+  void append(const char* format, Args... args) {
+    if (len_ + 1 >= sizeof(buf_)) return;
+    const int n = std::snprintf(&buf_[len_], sizeof(buf_) - len_, format, args...);
+    if (n > 0) len_ = std::min(len_ + static_cast<std::size_t>(n), sizeof(buf_) - 1);
+  }
+  [[nodiscard]] std::string_view view() const { return {&buf_[0], len_}; }
+
+ private:
+  char buf_[192] = {};
+  std::size_t len_ = 0;
+};
+
+}  // namespace
 
 void emit_decision(obs::EventBus& bus, std::size_t index, const dag::Workflow& wf,
                    const platform::Platform& platform, dag::TaskId task, sim::VmId vm,
                    const BestHost& best, std::size_t candidate_count,
                    std::optional<Dollars> budget_cap) {
-  std::ostringstream detail;
-  detail << "cat=" << platform.category(best.host.category).name
-         << (best.host.fresh ? " fresh" : " reuse") << " candidates=" << candidate_count
-         << " cost=" << best.estimate.cost;
+  DetailBuffer detail;
+  detail.append("cat=%s %s candidates=%zu cost=%g",
+                platform.category(best.host.category).name.c_str(),
+                best.host.fresh ? "fresh" : "reuse", candidate_count, best.estimate.cost);
   if (budget_cap) {
-    detail << " cap=" << *budget_cap;
-    if (!best.affordable) detail << " over-cap";
+    detail.append(" cap=%g", *budget_cap);
+    if (!best.affordable) detail.append(" over-cap");
   }
   bus.emit({.kind = obs::EventKind::sched_decision,
             .time = static_cast<Seconds>(index),
             .vm = static_cast<std::int64_t>(vm),
             .task = static_cast<std::int64_t>(task),
             .name = wf.task(task).name,
-            .detail = detail.str(),
+            .detail = detail.view(),
             // Remaining headroom of this decision's share (negative when the
             // cheapest fallback blew through the cap).
             .value = budget_cap ? *budget_cap - best.estimate.cost : 0.0,

@@ -24,17 +24,62 @@ struct BestHost {
   bool affordable = true;
 };
 
+/// Streaming selection kernel behind getBestHost.  One scan object is fed
+/// (host, estimate) pairs via consider() and yields the Algorithm-2 winner:
+/// smallest EFT among hosts within the cap, with the overall-cheapest host
+/// as the over-budget fallback.  Factored out so MIN-MIN's memoized rounds
+/// and the fresh-estimate path share byte-identical tie-breaking.
+class BestHostScan {
+ public:
+  explicit BestHostScan(std::optional<Dollars> budget_cap) : budget_cap_(budget_cap) {}
+
+  void consider(const HostCandidate& host, const PlacementEstimate& estimate) {
+    // Track the overall cheapest placement as the fallback.
+    if (!have_cheapest_ || estimate.cost < cheapest_.estimate.cost ||
+        (estimate.cost == cheapest_.estimate.cost &&
+         better_placement(estimate, host, cheapest_.estimate, cheapest_.host))) {
+      have_cheapest_ = true;
+      cheapest_.host = host;
+      cheapest_.estimate = estimate;
+    }
+    if (budget_cap_ && estimate.cost > *budget_cap_ + money_epsilon) return;
+    if (!have_affordable_ || better_placement(estimate, host, best_.estimate, best_.host)) {
+      have_affordable_ = true;
+      best_.host = host;
+      best_.estimate = estimate;
+    }
+  }
+
+  [[nodiscard]] BestHost result() const {
+    if (have_affordable_) return BestHost{best_.host, best_.estimate, true};
+    return BestHost{cheapest_.host, cheapest_.estimate, false};
+  }
+
+ private:
+  struct Entry {
+    HostCandidate host{};
+    PlacementEstimate estimate{};
+  };
+  std::optional<Dollars> budget_cap_;
+  Entry best_{};
+  Entry cheapest_{};
+  bool have_affordable_ = false;
+  bool have_cheapest_ = false;
+};
+
 /// Selects the host with the smallest EFT among those whose cost ct(T,host)
 /// stays within \p budget_cap (B_T + pot); without a cap, plain smallest
-/// EFT (the baseline MIN-MIN/HEFT behaviour).
-[[nodiscard]] BestHost get_best_host(const EftState& state, const sim::Schedule& schedule,
-                                     dag::TaskId task, std::optional<Dollars> budget_cap);
+/// EFT (the baseline MIN-MIN/HEFT behaviour).  Probes every candidate of
+/// \p state once; allocation-free.
+[[nodiscard]] BestHost get_best_host(const EftState& state, dag::TaskId task,
+                                     std::optional<Dollars> budget_cap);
 
 /// Emits one sched_decision observability event for a committed placement:
 /// the chosen VM, its category, fresh-vs-reuse, EFT, cost, the size of the
 /// candidate set considered, and (when budget-aware) the cap and remaining
-/// headroom.  Callers must gate on `bus.enabled()` — this function builds
-/// strings unconditionally.  \p index is the 0-based decision number; it
+/// headroom.  Callers must gate on `bus.enabled()`; the detail string is
+/// formatted into a stack buffer (no heap traffic) and is only valid for
+/// the duration of the emit.  \p index is the 0-based decision number; it
 /// becomes the event's timeline (scheduling precedes simulated time).
 void emit_decision(obs::EventBus& bus, std::size_t index, const dag::Workflow& wf,
                    const platform::Platform& platform, dag::TaskId task, sim::VmId vm,

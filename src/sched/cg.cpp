@@ -9,6 +9,7 @@
 #include "obs/event_bus.hpp"
 #include "obs/profile.hpp"
 #include "sched/best_host.hpp"
+#include "sched/plan.hpp"
 #include "sim/simulator.hpp"
 
 namespace cloudwf::sched {
@@ -78,20 +79,28 @@ SchedulerOutput CgScheduler::schedule(const SchedulerInput& input) const {
           : 0.0;
 
   // ---- CG: per-task category choice, HEFT task order ----------------------
-  const dag::RankParams rank_params{platform.mean_speed(), platform.bandwidth(), true};
-  const auto ranks = dag::bottom_levels(wf, rank_params);
-  const auto order = dag::heft_order(wf, rank_params);
+  std::vector<Seconds> ranks_local;
+  std::vector<dag::TaskId> order_local;
+  if (input.plan == nullptr) {
+    const dag::RankParams rank_params{platform.mean_speed(), platform.bandwidth(), true};
+    ranks_local = dag::bottom_levels(wf, rank_params);
+    order_local = dag::heft_order(wf, rank_params);
+  }
+  const std::vector<Seconds>& ranks =
+      input.plan != nullptr ? input.plan->bottom_levels : ranks_local;
+  const std::vector<dag::TaskId>& order =
+      input.plan != nullptr ? input.plan->heft_list : order_local;
 
   sim::Schedule schedule(wf.task_count());
   for (dag::TaskId t = 0; t < wf.task_count(); ++t) schedule.set_priority(t, ranks[t]);
   EftState state(wf, platform);
 
   std::size_t decision = 0;
+  std::vector<Dollars> cost_on(platform.category_count());
   for (dag::TaskId task : order) {
     // Target spend for this task.
     Dollars ct_min = std::numeric_limits<Dollars>::infinity();
     Dollars ct_max = 0;
-    std::vector<Dollars> cost_on(platform.category_count());
     for (platform::CategoryId c = 0; c < platform.category_count(); ++c) {
       cost_on[c] = task_cost_on_category(wf, platform, task, c);
       ct_min = std::min(ct_min, cost_on[c]);
@@ -118,9 +127,9 @@ SchedulerOutput CgScheduler::schedule(const SchedulerInput& input) const {
     BestHost best{};
     Dollars best_marginal = std::numeric_limits<Dollars>::infinity();
     bool have = false;
-    for (const HostCandidate& host : state.candidates(schedule)) {
+    for (const HostCandidate& host : state.candidates()) {
       if (host.category != chosen) continue;
-      const PlacementEstimate est = state.estimate(task, host, schedule);
+      const PlacementEstimate est = state.estimate(task, host);
       const Dollars marginal =
           est.cost + (host.fresh ? platform.category(host.category).setup_cost : 0.0);
       if (!have || marginal < best_marginal - money_epsilon ||
@@ -132,7 +141,7 @@ SchedulerOutput CgScheduler::schedule(const SchedulerInput& input) const {
       }
     }
     CLOUDWF_ASSERT(have);
-    const std::size_t n_candidates = trace ? state.candidates(schedule).size() : 0;
+    const std::size_t n_candidates = trace ? state.candidates().size() : 0;
     const sim::VmId vm = state.commit(task, best.host, best.estimate, schedule);
     if (trace)
       emit_decision(*input.bus, decision, wf, platform, task, vm, best, n_candidates,
@@ -178,15 +187,18 @@ SchedulerOutput CgScheduler::schedule(const SchedulerInput& input) const {
       }
     };
 
+    // One tentative schedule reused (copy-assigned) across every probe of
+    // this iteration, instead of a fresh deep copy per move.
+    sim::Schedule tentative = schedule;
     for (dag::TaskId task : path) {
       const sim::VmId current_vm = schedule.vm_of(task);
       for (sim::VmId vm = 0; vm < schedule.vm_count(); ++vm) {
         if (vm == current_vm || schedule.vm_tasks(vm).empty()) continue;
-        sim::Schedule tentative = schedule;
+        tentative = schedule;
         consider(task, tentative, vm, false, 0);
       }
       for (platform::CategoryId c = 0; c < platform.category_count(); ++c) {
-        sim::Schedule tentative = schedule;
+        tentative = schedule;
         const sim::VmId fresh = tentative.add_vm(c);
         consider(task, tentative, fresh, true, c);
       }

@@ -6,6 +6,16 @@
 
 namespace cloudwf::sched {
 
+namespace {
+
+/// Thread-local probe counter (see probe_count() in eft.hpp).  Thread-local
+/// so parallel sweeps don't contend on one cache line.
+thread_local std::size_t probes_issued = 0;
+
+}  // namespace
+
+std::size_t probe_count() { return probes_issued; }
+
 bool better_placement(const PlacementEstimate& a, const HostCandidate& ha,
                       const PlacementEstimate& b, const HostCandidate& hb) {
   if (a.eft != b.eft) return a.eft < b.eft;
@@ -19,36 +29,87 @@ EftState::EftState(const dag::Workflow& wf, const platform::Platform& platform)
     : wf_(wf),
       platform_(platform),
       finish_(wf.task_count(), -1.0),
-      at_dc_(wf.edge_count(), -1.0) {
+      at_dc_(wf.edge_count(), -1.0),
+      vm_of_(wf.task_count(), sim::invalid_vm),
+      upload_(wf.task_count(), 0.0),
+      inputs_(wf.task_count()) {
   require(wf.frozen(), "EftState: workflow must be frozen");
-}
-
-std::vector<HostCandidate> EftState::candidates(const sim::Schedule& schedule) const {
-  std::vector<HostCandidate> hosts;
-  hosts.reserve(schedule.vm_count() + platform_.category_count());
-  for (sim::VmId vm = 0; vm < schedule.vm_count(); ++vm) {
-    if (schedule.vm_tasks(vm).empty()) continue;
-    hosts.push_back(HostCandidate{vm, schedule.vm_category(vm), false});
+  // Conservative output-upload time, precomputed with the same accumulation
+  // order the per-probe loop used (external output first, then out-edges).
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    Bytes d_out = wf.external_output_of(t);
+    for (dag::EdgeId e : wf.out_edges(t)) d_out += wf.edge(e).bytes;
+    upload_[t] = d_out / platform.bandwidth();
   }
-  for (platform::CategoryId c = 0; c < platform_.category_count(); ++c)
-    hosts.push_back(HostCandidate{sim::invalid_vm, c, true});
-  return hosts;
+  // Candidate set starts as the fresh slots; used VMs are inserted in front
+  // of them by commit().
+  hosts_.reserve(platform.category_count() + 16);
+  for (platform::CategoryId c = 0; c < platform.category_count(); ++c)
+    hosts_.push_back(HostCandidate{sim::invalid_vm, c, true});
+  producer_vms_.reserve(wf.task_count());
 }
 
-PlacementEstimate EftState::estimate(dag::TaskId task, const HostCandidate& host,
-                                     const sim::Schedule& schedule) const {
-  require(task < wf_.task_count(), "EftState::estimate: task out of range");
-  const platform::VmCategory& category = platform_.category(host.category);
-
+const EftState::TaskInputs& EftState::task_inputs(dag::TaskId task) const {
+  TaskInputs& inputs = inputs_[task];
+  if (inputs.ready) return inputs;
+  // All predecessors are committed by the list-scheduling contract, and a
+  // committed placement never changes during a pass — so this aggregate is
+  // computed once and never invalidated.
   Bytes d_in = wf_.external_input_of(task);
-  Seconds inputs_at_dc = 0;
+  Seconds at_dc = 0;
+  inputs.producers_first = static_cast<std::uint32_t>(producer_vms_.size());
   for (dag::EdgeId e : wf_.in_edges(task)) {
     const dag::Edge& edge = wf_.edge(e);
     CLOUDWF_ASSERT_MSG(finish_[edge.src] >= 0, "EftState::estimate: predecessor not committed");
-    const bool on_host = !host.fresh && schedule.vm_of(edge.src) == host.vm;
-    if (on_host) continue;  // data produced on this very VM: free
     d_in += edge.bytes;
-    inputs_at_dc = std::max(inputs_at_dc, at_dc_[e]);
+    at_dc = std::max(at_dc, at_dc_[e]);
+    const sim::VmId producer = vm_of_[edge.src];
+    bool seen = false;
+    for (std::uint32_t i = inputs.producers_first; i < producer_vms_.size(); ++i)
+      if (producer_vms_[i] == producer) {
+        seen = true;
+        break;
+      }
+    if (!seen) producer_vms_.push_back(producer);
+  }
+  inputs.producers_count =
+      static_cast<std::uint32_t>(producer_vms_.size()) - inputs.producers_first;
+  inputs.d_in_all = d_in;
+  inputs.at_dc_all = at_dc;
+  inputs.ready = true;
+  return inputs;
+}
+
+bool EftState::hosts_producer(const TaskInputs& inputs, sim::VmId vm) const {
+  const std::uint32_t end = inputs.producers_first + inputs.producers_count;
+  for (std::uint32_t i = inputs.producers_first; i < end; ++i)
+    if (producer_vms_[i] == vm) return true;
+  return false;
+}
+
+PlacementEstimate EftState::estimate(dag::TaskId task, const HostCandidate& host) const {
+  CLOUDWF_ASSERT_MSG(task < wf_.task_count(), "EftState::estimate: task out of range");
+  ++probes_issued;
+  const platform::VmCategory& category = platform_.category(host.category);
+  const TaskInputs& inputs = task_inputs(task);
+
+  Bytes d_in;
+  Seconds inputs_at_dc;
+  if (host.fresh || !hosts_producer(inputs, host.vm)) {
+    // Fast path: no input is local to this host, so d_in is the full-input
+    // sum — cached with the exact accumulation order of the walk below.
+    d_in = inputs.d_in_all;
+    inputs_at_dc = inputs.at_dc_all;
+  } else {
+    // The host produced some input: walk the in-edges, skipping local data.
+    d_in = wf_.external_input_of(task);
+    inputs_at_dc = 0;
+    for (dag::EdgeId e : wf_.in_edges(task)) {
+      const dag::Edge& edge = wf_.edge(e);
+      if (vm_of_[edge.src] == host.vm) continue;  // produced on this very VM: free
+      d_in += edge.bytes;
+      inputs_at_dc = std::max(inputs_at_dc, at_dc_[e]);
+    }
   }
 
   PlacementEstimate out;
@@ -61,9 +122,7 @@ PlacementEstimate EftState::estimate(dag::TaskId task, const HostCandidate& host
 
   // Conservative cost: assume every output (edge data + external output)
   // is uploaded to the datacenter while the VM is still billed.
-  Bytes d_out = wf_.external_output_of(task);
-  for (dag::EdgeId e : wf_.out_edges(task)) d_out += wf_.edge(e).bytes;
-  out.upload = d_out / platform_.bandwidth();
+  out.upload = upload_[task];
   // Marginal billed time (see eft.hpp): a reused host also bills the idle
   // gap until t_begin; a fresh host's boot is uncharged.
   const Seconds billed = host.fresh ? out.exec - platform_.boot_delay() + out.upload
@@ -79,10 +138,16 @@ sim::VmId EftState::commit(dag::TaskId task, const HostCandidate& host,
   if (host.fresh) {
     vm = schedule.add_vm(host.category);
     if (avail_.size() <= vm) avail_.resize(vm + 1, 0.0);
+    // The new used VM slots in right after the existing used block, keeping
+    // candidates() in the canonical order (used ascending, then fresh).
+    hosts_.insert(hosts_.begin() + static_cast<std::ptrdiff_t>(used_hosts_),
+                  HostCandidate{vm, host.category, false});
+    ++used_hosts_;
   }
   schedule.assign(task, vm);
   avail_[vm] = estimate.eft;
   finish_[task] = estimate.eft;
+  vm_of_[task] = vm;
   planned_makespan_ = std::max(planned_makespan_, estimate.eft);
   for (dag::EdgeId e : wf_.out_edges(task))
     at_dc_[e] = estimate.eft + wf_.edge(e).bytes / platform_.bandwidth();

@@ -27,7 +27,30 @@
 ///
 /// Without this, schedules systematically overrun the budget under Eq. (1)
 /// billing, losing the paper's headline "budget respected" property.
-
+///
+/// ## Incremental fast path (DESIGN.md Section 12)
+///
+/// A 1000-task CyberShake provisions ~400 VMs, so a single list pass issues
+/// ~400k placement probes (MIN-MIN: hundreds of millions).  Three invariants
+/// of list scheduling make each probe O(1) instead of O(in-degree):
+///
+///  * A task is only probed once all its predecessors are committed, and a
+///    committed placement never changes during a pass.  The per-task input
+///    aggregate (total input bytes, max at-DC time, the set of producer VMs)
+///    is therefore computed once, lazily, and never invalidated.
+///  * Summation order is preserved bit-exactly: the aggregate accumulates
+///    external input + in-edge bytes in edge order — the exact sum the naive
+///    per-edge walk produces when no input is local to the probed host (the
+///    overwhelmingly common case).  Probing a host that *does* hold a
+///    producer falls back to the per-edge walk, so every estimate is
+///    bit-identical to the non-incremental implementation.
+///  * VMs are only ever added (commit on a fresh host) and never emptied, so
+///    the candidate set is maintained incrementally: used VMs in ascending
+///    id order followed by one fresh slot per category.  candidates() is an
+///    allocation-free span lookup.
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -59,22 +82,32 @@ struct PlacementEstimate {
 [[nodiscard]] bool better_placement(const PlacementEstimate& a, const HostCandidate& ha,
                                     const PlacementEstimate& b, const HostCandidate& hb);
 
-/// Mutable planning state of one list-scheduling run.
+/// Total placement probes (estimate() calls) issued on this thread since
+/// process start.  Monotone; bench_sched reads deltas around one plan call
+/// to report probes/sec.
+[[nodiscard]] std::size_t probe_count();
+
+/// Mutable planning state of one list-scheduling run.  One EftState drives
+/// one Schedule: every VM of that schedule must be provisioned through
+/// commit() (all kernels start from an empty schedule).
 class EftState {
  public:
   EftState(const dag::Workflow& wf, const platform::Platform& platform);
 
-  /// Host candidates per the paper: every VM already holding a task in
-  /// \p schedule, plus one fresh VM of each category.
-  [[nodiscard]] std::vector<HostCandidate> candidates(const sim::Schedule& schedule) const;
+  /// Host candidates per the paper: every VM already holding a task, plus
+  /// one fresh VM of each category.  The span is invalidated by commit().
+  [[nodiscard]] std::span<const HostCandidate> candidates() const { return hosts_; }
+
+  /// Number of used (committed-to) VMs, = candidates().size() minus the
+  /// fresh slots.
+  [[nodiscard]] std::size_t used_host_count() const { return used_hosts_; }
 
   /// Estimates placing \p task next on \p host.  All predecessors of the
   /// task must already be committed.
-  [[nodiscard]] PlacementEstimate estimate(dag::TaskId task, const HostCandidate& host,
-                                           const sim::Schedule& schedule) const;
+  [[nodiscard]] PlacementEstimate estimate(dag::TaskId task, const HostCandidate& host) const;
 
   /// Commits the placement, provisioning a fresh VM in \p schedule when
-  /// needed; returns the VM id used.
+  /// needed; returns the VM id used.  Invalidates candidates() spans.
   sim::VmId commit(dag::TaskId task, const HostCandidate& host, const PlacementEstimate& estimate,
                    sim::Schedule& schedule);
 
@@ -91,11 +124,29 @@ class EftState {
   [[nodiscard]] Seconds vm_available(sim::VmId vm) const;
 
  private:
+  /// Lazily-built per-task input aggregate (see the fast-path notes above).
+  struct TaskInputs {
+    bool ready = false;
+    Bytes d_in_all = 0;       ///< ext input + every in-edge, edge order
+    Seconds at_dc_all = 0;    ///< max at-DC over all in-edges
+    std::uint32_t producers_first = 0;  ///< slice of producer_vms_
+    std::uint32_t producers_count = 0;
+  };
+
+  [[nodiscard]] const TaskInputs& task_inputs(dag::TaskId task) const;
+  [[nodiscard]] bool hosts_producer(const TaskInputs& inputs, sim::VmId vm) const;
+
   const dag::Workflow& wf_;
   const platform::Platform& platform_;
   std::vector<Seconds> finish_;     // per task; -1 when not committed
   std::vector<Seconds> at_dc_;      // per edge; meaningful once producer committed
   std::vector<Seconds> avail_;      // per provisioned VM
+  std::vector<sim::VmId> vm_of_;    // per task; commit() mirror of the schedule
+  std::vector<Seconds> upload_;     // per task; precomputed output-upload time
+  std::vector<HostCandidate> hosts_;  // used VMs (ascending id), then fresh slots
+  std::size_t used_hosts_ = 0;
+  mutable std::vector<TaskInputs> inputs_;      // lazy aggregates
+  mutable std::vector<sim::VmId> producer_vms_; // arena backing TaskInputs slices
   Seconds planned_makespan_ = 0;
 };
 

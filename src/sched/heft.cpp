@@ -6,6 +6,7 @@
 #include "obs/profile.hpp"
 #include "sched/best_host.hpp"
 #include "sched/budget.hpp"
+#include "sched/plan.hpp"
 
 namespace cloudwf::sched {
 
@@ -17,26 +18,37 @@ sim::Schedule HeftScheduler::run_list_pass(const SchedulerInput& input, bool bud
   const obs::ProfileScope profile("sched.plan");
   const bool trace = input.bus != nullptr && input.bus->enabled();
 
-  const dag::RankParams rank_params{input.platform.mean_speed(), input.platform.bandwidth(),
-                                    /*conservative=*/true};
-  const auto ranks = dag::bottom_levels(wf, rank_params);
-  list_out = dag::heft_order(wf, rank_params);
+  std::vector<Seconds> ranks_local;
+  const std::vector<Seconds>* ranks = nullptr;
+  if (input.plan != nullptr) {
+    ranks = &input.plan->bottom_levels;
+    list_out = input.plan->heft_list;
+  } else {
+    const dag::RankParams rank_params{input.platform.mean_speed(), input.platform.bandwidth(),
+                                      /*conservative=*/true};
+    ranks_local = dag::bottom_levels(wf, rank_params);
+    ranks = &ranks_local;
+    list_out = dag::heft_order(wf, rank_params);
+  }
 
   BudgetShares shares;
-  if (budget_aware)
-    shares = divide_budget(wf, input.platform, input.budget, options.reserve_budget);
+  if (budget_aware) {
+    shares = input.plan != nullptr
+                 ? divide_budget(input.plan->budget_model, input.budget, options.reserve_budget)
+                 : divide_budget(wf, input.platform, input.budget, options.reserve_budget);
+  }
   Dollars pot = 0;
 
   sim::Schedule schedule(wf.task_count());
-  for (dag::TaskId t = 0; t < wf.task_count(); ++t) schedule.set_priority(t, ranks[t]);
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) schedule.set_priority(t, (*ranks)[t]);
 
   EftState state(wf, input.platform);
   std::size_t decision = 0;
   for (dag::TaskId task : list_out) {
     const std::optional<Dollars> cap =
         budget_aware ? std::optional<Dollars>(shares.share(task) + pot) : std::nullopt;
-    const BestHost best = get_best_host(state, schedule, task, cap);
-    const std::size_t n_candidates = trace ? state.candidates(schedule).size() : 0;
+    const BestHost best = get_best_host(state, task, cap);
+    const std::size_t n_candidates = trace ? state.candidates().size() : 0;
     const sim::VmId vm = state.commit(task, best.host, best.estimate, schedule);
     if (trace)
       emit_decision(*input.bus, decision, wf, input.platform, task, vm, best, n_candidates, cap);

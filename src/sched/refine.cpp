@@ -13,14 +13,16 @@ std::size_t refine_by_resimulation(const SchedulerInput& input, sim::Schedule& s
   Seconds best_makespan = simulator.run_conservative(schedule).makespan;
   std::size_t applied = 0;
 
+  // One tentative schedule reused (copy-assigned) per probe instead of a
+  // fresh deep copy; its capacity survives across candidates and tasks.
+  sim::Schedule tentative = schedule;
   for (const dag::TaskId task : order) {
     const sim::VmId current_vm = schedule.vm_of(task);
     sim::VmId selected_vm = current_vm;
     platform::CategoryId selected_fresh_category = 0;
     bool selected_is_fresh = false;
 
-    const auto try_candidate = [&](sim::Schedule& tentative, sim::VmId vm, bool fresh,
-                                   platform::CategoryId category) {
+    const auto try_candidate = [&](sim::VmId vm, bool fresh, platform::CategoryId category) {
       tentative.move(task, vm);
       const sim::SimResult result = simulator.run_conservative(tentative);
       if (result.makespan < best_makespan &&
@@ -35,14 +37,14 @@ std::size_t refine_by_resimulation(const SchedulerInput& input, sim::Schedule& s
     // Used VMs other than the current one.
     for (sim::VmId vm = 0; vm < schedule.vm_count(); ++vm) {
       if (vm == current_vm || schedule.vm_tasks(vm).empty()) continue;
-      sim::Schedule tentative = schedule;
-      try_candidate(tentative, vm, false, 0);
+      tentative = schedule;
+      try_candidate(vm, false, 0);
     }
     // One fresh VM per category.
     for (platform::CategoryId c = 0; c < input.platform.category_count(); ++c) {
-      sim::Schedule tentative = schedule;
+      tentative = schedule;
       const sim::VmId fresh = tentative.add_vm(c);
-      try_candidate(tentative, fresh, true, c);
+      try_candidate(fresh, true, c);
     }
 
     if (selected_is_fresh) {

@@ -19,7 +19,12 @@ class EventBus;
 
 namespace cloudwf::sched {
 
-/// Everything a scheduler needs for one decision problem.
+struct WorkflowPlan;
+
+/// Everything a scheduler needs for one decision problem.  Prefer building
+/// one via make_input(), which validates the pieces once for every entry
+/// point (CLI, experiment runner, tests) instead of each scheduler
+/// re-checking its own invariants.
 struct SchedulerInput {
   const dag::Workflow& wf;              ///< frozen workflow
   const platform::Platform& platform;   ///< VM categories + datacenter
@@ -28,7 +33,21 @@ struct SchedulerInput {
   /// per placement (candidate count, chosen host, budget headroom) when a
   /// sink is attached.  Null (the default) costs nothing.
   obs::EventBus* bus = nullptr;
+  /// Optional precomputed workflow analyses (sched/plan.hpp).  When set,
+  /// schedulers reuse its ranks / levels / budget model instead of
+  /// recomputing them — results are bit-identical either way.  Must have
+  /// been built for exactly this (wf, platform) pair.  Not owned.
+  const WorkflowPlan* plan = nullptr;
 };
+
+/// Validating constructor for SchedulerInput, the single entry point shared
+/// by the CLI, the experiment runner and the tests: requires a frozen
+/// workflow, a non-negative budget, and (when given) a plan whose shape
+/// matches the workflow.
+[[nodiscard]] SchedulerInput make_input(const dag::Workflow& wf,
+                                        const platform::Platform& platform, Dollars budget,
+                                        obs::EventBus* bus = nullptr,
+                                        const WorkflowPlan* plan = nullptr);
 
 /// A produced schedule plus its deterministic prediction.
 ///

@@ -173,7 +173,7 @@ class Execution {
 
   /// Observability emission.  Callers must test `obs_` *before* building the
   /// Event (strings!): the disabled path is a single cached bool test.
-  void emit(obs::Event event) const { bus_->emit(event); }
+  void emit(const obs::Event& event) const { bus_->emit(event); }
 
   [[nodiscard]] std::int64_t obs_vm(VmId vm) const {
     return vm == invalid_vm ? obs::no_id : static_cast<std::int64_t>(vm);

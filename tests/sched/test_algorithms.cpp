@@ -13,7 +13,9 @@
 #include "exp/budget_levels.hpp"
 #include "pegasus/generator.hpp"
 #include "platform/platform.hpp"
+#include "sched/plan.hpp"
 #include "sched/registry.hpp"
+#include "sim/schedule_io.hpp"
 #include "sim/simulator.hpp"
 #include "testing/helpers.hpp"
 
@@ -163,6 +165,84 @@ TEST(Registry, BudgetAwarenessFlags) {
   EXPECT_TRUE(is_budget_aware("minmin-budg-plus"));
   EXPECT_TRUE(is_budget_aware("bdt"));
   EXPECT_TRUE(is_budget_aware("cg-plus"));
+}
+
+TEST(Registry, CapabilityRecordsMatchNameOrder) {
+  const std::span<const SchedulerInfo> registry = scheduler_registry();
+  const std::vector<std::string> names = algorithm_names();
+  ASSERT_EQ(registry.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(registry[i].name, names[i]);
+}
+
+TEST(Registry, CapabilityFlags) {
+  EXPECT_FALSE(scheduler_info("minmin").needs_budget);
+  EXPECT_FALSE(scheduler_info("minmin").refining);
+  EXPECT_TRUE(scheduler_info("heft-budg").needs_budget);
+  EXPECT_FALSE(scheduler_info("heft-budg").refining);
+  EXPECT_TRUE(scheduler_info("heft-budg-plus").refining);
+  EXPECT_TRUE(scheduler_info("minmin-budg-plus").refining);
+  EXPECT_TRUE(scheduler_info("cg-plus").refining);
+  EXPECT_FALSE(scheduler_info("bdt").refining);
+  EXPECT_FALSE(scheduler_info("cg").refining);
+  // Every refining algorithm consumes a budget; the reverse does not hold.
+  for (const SchedulerInfo& info : scheduler_registry())
+    if (info.refining) EXPECT_TRUE(info.needs_budget) << info.name;
+}
+
+TEST(Registry, FindSchedulerIsNullSafe) {
+  ASSERT_NE(find_scheduler("heft"), nullptr);
+  EXPECT_EQ(find_scheduler("heft")->name, "heft");
+  EXPECT_EQ(find_scheduler("nope"), nullptr);
+  EXPECT_THROW((void)scheduler_info("nope"), InvalidArgument);
+}
+
+// ---- make_input --------------------------------------------------------------
+
+TEST(MakeInput, RejectsUnfrozenWorkflowAndNegativeBudget) {
+  const auto platform = platform::paper_platform();
+  dag::Workflow open("open");
+  (void)open.add_task("t0", 1.0, 0.1);
+  EXPECT_THROW((void)make_input(open, platform, 1.0), InvalidArgument);
+  open.freeze();
+  EXPECT_THROW((void)make_input(open, platform, -0.5), InvalidArgument);
+  EXPECT_NO_THROW((void)make_input(open, platform, 0.0));
+}
+
+TEST(MakeInput, RejectsPlanBuiltForAnotherWorkflow) {
+  const auto platform = platform::paper_platform();
+  const auto wf = pegasus::generate(pegasus::WorkflowType::ligo, {24, 11, 0.5});
+  const auto other = pegasus::generate(pegasus::WorkflowType::ligo, {32, 11, 0.5});
+  const WorkflowPlan plan = WorkflowPlan::build(other, platform);
+  EXPECT_THROW((void)make_input(wf, platform, 1.0, nullptr, &plan), InvalidArgument);
+  const WorkflowPlan good = WorkflowPlan::build(wf, platform);
+  EXPECT_NO_THROW((void)make_input(wf, platform, 1.0, nullptr, &good));
+}
+
+// ---- WorkflowPlan / PlanCache ------------------------------------------------
+
+/// Sharing a precomputed plan must never change a schedule: every cached
+/// analysis is the exact double sequence the ad-hoc path computes.
+TEST(PlanCache, PlannedSchedulesBitIdenticalToAdHoc) {
+  const auto platform = platform::paper_platform();
+  const auto wf = pegasus::generate(pegasus::WorkflowType::cybershake, {40, 3, 0.5});
+  PlanCache cache;
+  const WorkflowPlan& plan = cache.get(wf, platform);
+  EXPECT_EQ(cache.size(), 1u);
+  // Same key returns the same object, not a rebuild.
+  EXPECT_EQ(&plan, &cache.get(wf, platform));
+
+  for (const SchedulerInfo& info : scheduler_registry()) {
+    const auto scheduler = make_scheduler(info.name);
+    const SchedulerOutput ad_hoc =
+        scheduler->schedule(make_input(wf, platform, 3.0));
+    const SchedulerOutput planned =
+        scheduler->schedule(make_input(wf, platform, 3.0, nullptr, &plan));
+    EXPECT_EQ(sim::schedule_to_json(planned.schedule, wf).dump(),
+              sim::schedule_to_json(ad_hoc.schedule, wf).dump())
+        << info.name;
+    EXPECT_EQ(planned.predicted_makespan, ad_hoc.predicted_makespan) << info.name;
+    EXPECT_EQ(planned.predicted_cost, ad_hoc.predicted_cost) << info.name;
+  }
 }
 
 }  // namespace

@@ -20,16 +20,16 @@ TEST(Eft, CandidatesAreUsedVmsPlusOneFreshPerCategory) {
   EftState state(wf, platform);
   sim::Schedule schedule(wf.task_count());
 
-  auto hosts = state.candidates(schedule);
+  auto hosts = state.candidates();
   ASSERT_EQ(hosts.size(), 2u);  // no used VMs yet
   EXPECT_TRUE(hosts[0].fresh);
   EXPECT_TRUE(hosts[1].fresh);
 
   const dag::TaskId a = wf.find_task("A");
-  const PlacementEstimate est = state.estimate(a, hosts[0], schedule);
+  const PlacementEstimate est = state.estimate(a, hosts[0]);
   state.commit(a, hosts[0], est, schedule);
 
-  hosts = state.candidates(schedule);
+  hosts = state.candidates();
   ASSERT_EQ(hosts.size(), 3u);  // 1 used + 2 fresh
   EXPECT_FALSE(hosts[0].fresh);
 }
@@ -42,7 +42,7 @@ TEST(Eft, EstimateOnFreshSlowHostMatchesEquation7) {
 
   const dag::TaskId a = wf.find_task("A");
   const HostCandidate fresh_slow{sim::invalid_vm, 0, true};
-  const PlacementEstimate est = state.estimate(a, fresh_slow, schedule);
+  const PlacementEstimate est = state.estimate(a, fresh_slow);
   // t_Exec = boot 10 + 100/1 compute + 4e6/1e6 external input.
   EXPECT_DOUBLE_EQ(est.begin, 0.0);
   EXPECT_DOUBLE_EQ(est.exec, 114.0);
@@ -60,7 +60,7 @@ TEST(Eft, FastHostHalvesComputeDoublesRate) {
   sim::Schedule schedule(wf.task_count());
 
   const dag::TaskId a = wf.find_task("A");
-  const PlacementEstimate est = state.estimate(a, {sim::invalid_vm, 1, true}, schedule);
+  const PlacementEstimate est = state.estimate(a, {sim::invalid_vm, 1, true});
   EXPECT_DOUBLE_EQ(est.exec, 10.0 + 50.0 + 4.0);
   EXPECT_DOUBLE_EQ(est.cost, (50.0 + 4.0 + 3.0) * 2.0);
 }
@@ -74,16 +74,16 @@ TEST(Eft, ReuseSkipsBootAndLocalData) {
   const dag::TaskId a = wf.find_task("A");
   const dag::TaskId b = wf.find_task("B");
   const HostCandidate fresh_slow{sim::invalid_vm, 0, true};
-  const sim::VmId vm = state.commit(a, fresh_slow, state.estimate(a, fresh_slow, schedule),
+  const sim::VmId vm = state.commit(a, fresh_slow, state.estimate(a, fresh_slow),
                                     schedule);
 
-  const PlacementEstimate reuse = state.estimate(b, {vm, 0, false}, schedule);
+  const PlacementEstimate reuse = state.estimate(b, {vm, 0, false});
   // Same host: no boot, A->B data local; begin at A's finish (avail).
   EXPECT_DOUBLE_EQ(reuse.begin, 114.0);
   EXPECT_DOUBLE_EQ(reuse.exec, 200.0);
   EXPECT_DOUBLE_EQ(reuse.eft, 314.0);
 
-  const PlacementEstimate fresh = state.estimate(b, fresh_slow, schedule);
+  const PlacementEstimate fresh = state.estimate(b, fresh_slow);
   // Fresh host: waits for A->B at DC (114 + 1), then boot + download + compute.
   EXPECT_DOUBLE_EQ(fresh.begin, 115.0);
   EXPECT_DOUBLE_EQ(fresh.exec, 10.0 + 200.0 + 1.0);
@@ -98,7 +98,7 @@ TEST(Eft, CommitUpdatesAvailabilityAndAtDc) {
 
   const dag::TaskId a = wf.find_task("A");
   const HostCandidate fresh{sim::invalid_vm, 0, true};
-  const sim::VmId vm = state.commit(a, fresh, state.estimate(a, fresh, schedule), schedule);
+  const sim::VmId vm = state.commit(a, fresh, state.estimate(a, fresh), schedule);
   EXPECT_DOUBLE_EQ(state.finish_time(a), 114.0);
   EXPECT_DOUBLE_EQ(state.vm_available(vm), 114.0);
   // Edge A->C (2e6): at DC at 114 + 2.
@@ -137,7 +137,7 @@ TEST(BestHost, PicksSmallestEftWithoutCap) {
   const auto platform = testing::toy_platform();
   EftState state(wf, platform);
   sim::Schedule schedule(wf.task_count());
-  const BestHost best = get_best_host(state, schedule, wf.find_task("A"), std::nullopt);
+  const BestHost best = get_best_host(state, wf.find_task("A"), std::nullopt);
   EXPECT_TRUE(best.affordable);
   EXPECT_TRUE(best.host.fresh);
   EXPECT_EQ(best.host.category, 1u);  // fast: EFT 64 < 114
@@ -149,7 +149,7 @@ TEST(BestHost, BudgetCapForcesSlowerHost) {
   EftState state(wf, platform);
   sim::Schedule schedule(wf.task_count());
   // Fast costs 114, slow costs 107: a cap at 110 excludes the fast host.
-  const BestHost best = get_best_host(state, schedule, wf.find_task("A"), 110.0);
+  const BestHost best = get_best_host(state, wf.find_task("A"), 110.0);
   EXPECT_TRUE(best.affordable);
   EXPECT_EQ(best.host.category, 0u);
 }
@@ -159,7 +159,7 @@ TEST(BestHost, NoAffordableFallsBackToCheapest) {
   const auto platform = testing::toy_platform();
   EftState state(wf, platform);
   sim::Schedule schedule(wf.task_count());
-  const BestHost best = get_best_host(state, schedule, wf.find_task("A"), 1.0);
+  const BestHost best = get_best_host(state, wf.find_task("A"), 1.0);
   EXPECT_FALSE(best.affordable);
   EXPECT_EQ(best.host.category, 0u);  // cheapest
 }

@@ -19,12 +19,18 @@
 ///             [--fault-seed S] [--recovery-budget-cap C]
 ///             [--recovery-max-task-retries 2] [--recovery-max-boot-attempts 3]
 ///             [--recovery-max-transfer-retries 3] [--recovery-transfer-backoff 1]
-///   sweep     <wf> --algorithms minmin-budg,heft-budg,bdt,cg [--points 6]
+///   sweep     <wf> [--algorithms LIST|all] [--points 6]
 ///             [--reps 10] [--threads N] [--csv raw.csv] [--run-timeout S]
 ///             [--fault-* as above]
 ///   campaign  --type montage [--tasks 90] [--instances 3] [--sigma 0.5]
-///             [--algorithms ...] [--points 6] [--reps 10] [--threads N]
+///             [--algorithms LIST|all] [--points 6] [--reps 10] [--threads N]
 ///             [--checkpoint-dir DIR] [--resume] [--run-timeout S]
+///
+/// Algorithm lists come from the scheduler registry: sweep defaults to every
+/// budget-aware non-refining algorithm, campaign to every non-refining one
+/// (refinement passes are opt-in; they dominate run time), and
+/// `--algorithms all` expands to the full registry.  Unknown names fail
+/// before any work starts.
 ///
 /// Durability: with --checkpoint-dir every completed campaign cell is
 /// journaled (append + fsync) to DIR/campaign-<family>-<confighash>.jsonl;
@@ -168,6 +174,28 @@ struct ObsOptions {
   obs::MetricsRegistry metrics;
 };
 
+/// Comma-joined names of the registry entries matching \p filter — the
+/// registry-driven default algorithm sets (no hard-coded name lists).
+template <typename Filter>
+std::string join_algorithms(Filter filter) {
+  std::string out;
+  for (const sched::SchedulerInfo& info : sched::scheduler_registry()) {
+    if (!filter(info)) continue;
+    if (!out.empty()) out += ',';
+    out += info.name;
+  }
+  return out;
+}
+
+/// Resolves an --algorithms list: "all" expands to every registered name,
+/// and every name is validated against the registry up front (fail fast
+/// instead of erroring mid-sweep).
+std::vector<std::string> resolve_algorithms(std::vector<std::string> algorithms) {
+  if (algorithms.size() == 1 && algorithms[0] == "all") return sched::algorithm_names();
+  for (const std::string& algorithm : algorithms) (void)sched::scheduler_info(algorithm);
+  return algorithms;
+}
+
 /// Reads the --fault-* / --recovery-* knobs shared by simulate and sweep.
 void read_fault_args(const cli::Args& args, exp::EvalConfig& config) {
   config.faults.p_boot_fail = args.get_double("fault-p-boot-fail", 0.0);
@@ -243,8 +271,8 @@ int cmd_schedule(const cli::Args& args) {
   const Dollars budget = args.has("budget") ? args.get_double("budget", 0) : levels.medium;
 
   ObsOptions obs_options(args);
-  sched::SchedulerInput input{wf, cloud, budget};
-  input.bus = obs_options.bus_or_null();
+  const sched::SchedulerInput input =
+      sched::make_input(wf, cloud, budget, obs_options.bus_or_null());
   const auto out = sched::make_scheduler(algorithm)->schedule(input);
   std::cout << algorithm << " under $" << budget << ":\n"
             << "  predicted makespan : " << out.predicted_makespan << " s\n"
@@ -289,8 +317,8 @@ int cmd_simulate(const cli::Args& args) {
   const Dollars budget = args.has("budget") ? args.get_double("budget", 0) : levels.medium;
 
   ObsOptions obs_options(args);
-  sched::SchedulerInput input{wf, cloud, budget};
-  input.bus = obs_options.bus_or_null();
+  const sched::SchedulerInput input =
+      sched::make_input(wf, cloud, budget, obs_options.bus_or_null());
   const auto out = sched::make_scheduler(algorithm)->schedule(input);
   const sim::Simulator simulator(wf, cloud);
 
@@ -375,7 +403,11 @@ int cmd_sweep(const cli::Args& args) {
   const dag::Workflow wf =
       load_workflow(args.positional_at(0, "workflow file"), args.get_double("sigma", 0.5));
   const platform::Platform cloud = make_platform(args);
-  const auto algorithms = args.get_list("algorithms", "minmin-budg,heft-budg,bdt,cg");
+  // Default: every budget-aware, non-refining algorithm from the registry.
+  const auto algorithms = resolve_algorithms(args.get_list(
+      "algorithms", join_algorithms([](const sched::SchedulerInfo& info) {
+        return info.needs_budget && !info.refining;
+      })));
   const std::size_t points = args.get_size("points", 6);
   const std::size_t reps = args.get_size("reps", 10);
 
@@ -393,7 +425,8 @@ int cmd_sweep(const cli::Args& args) {
       request.config.repetitions = reps;
       request.config.seed = args.get_size("seed", 7);
       read_fault_args(args, request.config);
-      request.tag = "b" + std::to_string(b);
+      request.tag = "b";
+      request.tag += std::to_string(b);
       requests.push_back(std::move(request));
     }
   }
@@ -452,7 +485,11 @@ int cmd_campaign(const cli::Args& args) {
   config.sigma_ratio = args.get_double("sigma", 0.5);
   config.budget_points = args.get_size("points", 6);
   config.repetitions = args.get_size("reps", 10);
-  config.algorithms = args.get_list("algorithms", "minmin,heft,minmin-budg,heft-budg");
+  // Default: every non-refining algorithm (baselines included); refinement
+  // passes are opt-in because they dominate campaign run time.
+  config.algorithms = resolve_algorithms(args.get_list(
+      "algorithms",
+      join_algorithms([](const sched::SchedulerInfo& info) { return !info.refining; })));
   config.seed = args.get_size("seed", 42);
   config.threads = args.get_size("threads", 1);
   config.low_budget_factor = args.get_double("low-factor", 1.0);
